@@ -1,0 +1,123 @@
+// Command htpart partitions a netlist into a tree hierarchy with the
+// algorithms of Kuo & Cheng (DAC'97): FLOW (the paper's network-flow
+// approach), and the GFM/RFM baselines, optionally followed by FM
+// refinement ("+").
+//
+// Usage:
+//
+//	htpart -in circuit.net -algo flow -height 4 -wbase 2 -slack 1.1
+//	htpart -in circuit.net -algo rfm+ -seed 7 -print-tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/hypergraph"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input netlist (extended hMETIS format)")
+		algo      = flag.String("algo", "flow", "algorithm: flow, rfm, gfm, flow+, rfm+, gfm+")
+		height    = flag.Int("height", 4, "hierarchy height L (full binary tree, as in the paper)")
+		wbase     = flag.Float64("wbase", 2, "level weight base: w_l = wbase^l")
+		slack     = flag.Float64("slack", 1.1, "capacity slack over balanced binary splits")
+		seed      = flag.Int64("seed", 1, "random seed")
+		iters     = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+		perMetric = flag.Int("per-metric", 1, "partitions constructed per spreading metric")
+		printTree = flag.Bool("print-tree", false, "print the partition tree")
+		levels    = flag.Bool("levels", false, "print per-level cost breakdown")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("need -in netlist"))
+	}
+	h, err := hypergraph.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "netlist: %s\n", hypergraph.ComputeStats(h))
+
+	spec, err := hierarchy.BinaryTreeSpec(h.TotalSize(), *height,
+		hierarchy.GeometricWeights(*height, *wbase), *slack)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "spec: C=%v K=%v w=%v\n", spec.Capacity, spec.Branch, spec.Weight)
+
+	base := strings.TrimSuffix(*algo, "+")
+	plus := strings.HasSuffix(*algo, "+")
+
+	start := time.Now()
+	var res *htp.Result
+	var initial float64
+	switch base {
+	case "flow":
+		opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed}
+		if plus {
+			res, initial, err = htp.FlowPlus(h, spec, opt, fm.RefineOptions{})
+		} else {
+			res, err = htp.Flow(h, spec, opt)
+			if res != nil {
+				initial = res.Cost
+			}
+		}
+	case "rfm":
+		opt := htp.RFMOptions{Seed: *seed}
+		if plus {
+			res, initial, err = htp.RFMPlus(h, spec, opt, fm.RefineOptions{})
+		} else {
+			res, err = htp.RFM(h, spec, opt)
+			if res != nil {
+				initial = res.Cost
+			}
+		}
+	case "gfm":
+		opt := htp.GFMOptions{Seed: *seed}
+		if plus {
+			res, initial, err = htp.GFMPlus(h, spec, opt, fm.RefineOptions{})
+		} else {
+			res, err = htp.GFM(h, spec, opt)
+			if res != nil {
+				initial = res.Cost
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if err := res.Partition.Validate(); err != nil {
+		fatal(fmt.Errorf("result failed validation: %w", err))
+	}
+	fmt.Printf("algorithm: %s\n", *algo)
+	fmt.Printf("cost:      %.0f\n", res.Cost)
+	if plus {
+		fmt.Printf("initial:   %.0f (improvement %.1f%%)\n",
+			initial, 100*(initial-res.Cost)/initial)
+	}
+	fmt.Printf("cpu:       %.2fs\n", elapsed.Seconds())
+	if *levels {
+		for l, c := range res.Partition.LevelCosts() {
+			fmt.Printf("level %d:   %.0f\n", l, c)
+		}
+	}
+	if *printTree {
+		fmt.Print(res.Partition.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "htpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,249 @@
+// Package repro is a reproduction of "A Network Flow Approach for
+// Hierarchical Tree Partitioning" (Ming-Ter Kuo and Chung-Kuan Cheng,
+// DAC 1997): partitioning circuit netlists into tree hierarchies — boards,
+// chips, blocks — minimizing the level-weighted I/O pin cost
+//
+//	cost(P) = Σ_e Σ_l w_l · span(e, l) · c(e).
+//
+// The package is a facade over the implementation in internal/: it
+// re-exports the netlist model, the HTP problem spec and partition types,
+// the paper's FLOW algorithm (spreading metrics computed by stochastic flow
+// injection + metric-guided top-down construction), the GFM/RFM baselines,
+// FM-based refinement, the exact LP lower bound of Lemma 2, and the
+// benchmark circuit generators.
+//
+// Quickstart:
+//
+//	h := repro.GenerateCircuit(repro.ISCAS85Circuits[0], 1)
+//	spec, _ := repro.BinaryTreeSpec(h.TotalSize(), 4, repro.GeometricWeights(4, 2), 1.1)
+//	res, err := repro.Flow(h, spec, repro.FlowOptions{})
+//	// res.Partition holds the tree and leaf assignment; res.Cost the pin cost.
+package repro
+
+import (
+	"repro/internal/circuits"
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/hypergraph"
+	"repro/internal/inject"
+	"repro/internal/metric"
+	"repro/internal/ratiocut"
+	"repro/internal/treemap"
+)
+
+// ---- Netlist model (internal/hypergraph) ----
+
+// Hypergraph is a circuit netlist: nodes (cells) with sizes and nets with
+// capacities.
+type Hypergraph = hypergraph.Hypergraph
+
+// NetlistBuilder accumulates nodes and nets and produces a validated
+// Hypergraph.
+type NetlistBuilder = hypergraph.Builder
+
+// NodeID identifies a netlist node; NetID a net.
+type (
+	NodeID = hypergraph.NodeID
+	NetID  = hypergraph.NetID
+)
+
+// NewNetlistBuilder returns an empty netlist builder.
+func NewNetlistBuilder() *NetlistBuilder { return hypergraph.NewBuilder() }
+
+// ReadNetlist parses a netlist in the extended hMETIS format.
+func ReadNetlist(path string) (*Hypergraph, error) { return hypergraph.ReadFile(path) }
+
+// NetlistStats summarizes a netlist (Table 1 columns and more).
+type NetlistStats = hypergraph.Stats
+
+// ComputeNetlistStats gathers summary statistics of a netlist.
+func ComputeNetlistStats(h *Hypergraph) NetlistStats { return hypergraph.ComputeStats(h) }
+
+// ---- HTP problem and partitions (internal/hierarchy) ----
+
+// Spec holds the per-level HTP parameters: size bounds C_l, branch bounds
+// K_l, and cost weights w_l.
+type Spec = hierarchy.Spec
+
+// Partition is a hierarchical tree partition P = (T, {V_q}).
+type Partition = hierarchy.Partition
+
+// Tree is the layered partition hierarchy.
+type Tree = hierarchy.Tree
+
+// BinaryTreeSpec builds the paper's experimental setup: a full binary tree
+// of the given height with capacities sized for balanced splits with slack.
+func BinaryTreeSpec(totalSize int64, height int, weights []float64, slack float64) (Spec, error) {
+	return hierarchy.BinaryTreeSpec(totalSize, height, weights, slack)
+}
+
+// GeometricWeights returns level weights w_l = base^l.
+func GeometricWeights(height int, base float64) []float64 {
+	return hierarchy.GeometricWeights(height, base)
+}
+
+// ---- Algorithms (internal/htp, internal/fm) ----
+
+// Result reports a partitioning run: the partition, its cost, and
+// diagnostics.
+type Result = htp.Result
+
+// FlowOptions tunes the paper's Algorithm 1.
+type FlowOptions = htp.FlowOptions
+
+// BuildOptions tunes the top-down construction (Algorithm 3) inside Flow.
+type BuildOptions = htp.BuildOptions
+
+// RFMOptions and GFMOptions tune the DAC'96 baselines.
+type (
+	RFMOptions = htp.RFMOptions
+	GFMOptions = htp.GFMOptions
+)
+
+// RefineOptions tunes the FM-based hierarchical refinement.
+type RefineOptions = fm.RefineOptions
+
+// Flow runs the network-flow constructive algorithm (Algorithm 1): N
+// iterations of spreading-metric computation plus metric-guided top-down
+// construction, returning the best partition.
+func Flow(h *Hypergraph, spec Spec, opt FlowOptions) (*Result, error) {
+	return htp.Flow(h, spec, opt)
+}
+
+// FlowPlus is Flow followed by FM refinement (the paper's FLOW+); it also
+// returns the pre-refinement cost.
+func FlowPlus(h *Hypergraph, spec Spec, opt FlowOptions, ref RefineOptions) (*Result, float64, error) {
+	return htp.FlowPlus(h, spec, opt, ref)
+}
+
+// RFM runs the top-down recursive FM baseline; RFMPlus adds refinement.
+func RFM(h *Hypergraph, spec Spec, opt RFMOptions) (*Result, error) {
+	return htp.RFM(h, spec, opt)
+}
+
+// RFMPlus is RFM followed by FM refinement (RFM+).
+func RFMPlus(h *Hypergraph, spec Spec, opt RFMOptions, ref RefineOptions) (*Result, float64, error) {
+	return htp.RFMPlus(h, spec, opt, ref)
+}
+
+// GFM runs the bottom-up grouping baseline; GFMPlus adds refinement.
+func GFM(h *Hypergraph, spec Spec, opt GFMOptions) (*Result, error) {
+	return htp.GFM(h, spec, opt)
+}
+
+// GFMPlus is GFM followed by FM refinement (GFM+).
+func GFMPlus(h *Hypergraph, spec Spec, opt GFMOptions, ref RefineOptions) (*Result, float64, error) {
+	return htp.GFMPlus(h, spec, opt, ref)
+}
+
+// Refine improves a partition in place by FM-style hierarchical moves and
+// returns the final cost and total improvement.
+func Refine(p *Partition, opt RefineOptions) (cost, improvement float64) {
+	return fm.RefineHierarchical(p, opt)
+}
+
+// ---- Spreading metrics and bounds (internal/metric, internal/inject) ----
+
+// SpreadingMetric is a fractional length assignment d(e) over nets.
+type SpreadingMetric = metric.Metric
+
+// InjectOptions tunes the stochastic flow injection (Algorithm 2).
+type InjectOptions = inject.Options
+
+// InjectStats reports the flow-injection work.
+type InjectStats = inject.Stats
+
+// ComputeSpreadingMetric runs Algorithm 2: an approximate spreading metric
+// by stochastic flow injection.
+func ComputeSpreadingMetric(h *Hypergraph, spec Spec, opt InjectOptions) (*SpreadingMetric, InjectStats, error) {
+	return inject.ComputeMetric(h, spec, opt)
+}
+
+// CheckSpreadingMetric verifies the spreading constraints; nil means
+// feasible.
+func CheckSpreadingMetric(m *SpreadingMetric, spec Spec) *metric.Violation {
+	return metric.Check(m, spec)
+}
+
+// MetricFromPartition derives the metric induced by a partition (Lemma 1):
+// d(e) = cost(e)/c(e).
+func MetricFromPartition(p *Partition) *SpreadingMetric { return metric.FromPartition(p) }
+
+// LowerBoundResult reports an exact LP lower-bound computation.
+type LowerBoundResult = metric.LowerBoundResult
+
+// ExactLowerBound computes the optimum of the spreading-metric LP by
+// cutting planes (Lemma 2) — small instances only.
+func ExactLowerBound(h *Hypergraph, spec Spec, maxRounds int) (*LowerBoundResult, error) {
+	return metric.ExactLowerBound(h, spec, maxRounds)
+}
+
+// BruteForce finds a cost-optimal partition exhaustively — a test oracle
+// for tiny instances.
+func BruteForce(h *Hypergraph, spec Spec) (*Partition, float64, error) {
+	return htp.BruteForce(h, spec)
+}
+
+// ---- Benchmark circuits (internal/circuits) ----
+
+// CircuitSpec describes an ISCAS85-class benchmark circuit by its published
+// size statistics.
+type CircuitSpec = circuits.CircuitSpec
+
+// ISCAS85Circuits lists the paper's five test cases.
+var ISCAS85Circuits = circuits.ISCAS85
+
+// GenerateCircuit builds a deterministic synthetic netlist with the spec's
+// gate count and clustered, Rent-like connectivity (the documented stand-in
+// for the unavailable MCNC files).
+func GenerateCircuit(spec CircuitSpec, seed int64) *Hypergraph {
+	return circuits.Generate(spec, seed)
+}
+
+// CircuitByName returns the ISCAS85-class spec with the given name.
+func CircuitByName(name string) (CircuitSpec, error) { return circuits.ByName(name) }
+
+// Figure2 reconstructs the paper's worked example graph, spec, and intended
+// leaf groups.
+func Figure2() (*Hypergraph, Spec, [][]NodeID) { return circuits.Figure2() }
+
+// Figure2Partition builds the worked example's optimal partition (cost 20).
+func Figure2Partition() *Partition { return circuits.Figure2Partition() }
+
+// ---- Related formulations (internal/ratiocut, internal/treemap) ----
+
+// RatioCutOptions tunes the stochastic flow-injection ratio-cut
+// bipartitioner (the Yeh-Cheng-Lin / Lang-Rao lineage the paper builds on).
+type RatioCutOptions = ratiocut.Options
+
+// RatioCutResult reports a ratio-cut bipartition.
+type RatioCutResult = ratiocut.Result
+
+// RatioCut bipartitions the netlist minimizing cut/(s(A)·s(B)) — the
+// objective that folds size balance into the cost instead of constraining
+// it, contrasted against HTP in the paper's introduction.
+func RatioCut(h *Hypergraph, opt RatioCutOptions) *RatioCutResult {
+	return ratiocut.Bipartition(h, opt)
+}
+
+// HostTree is a fixed host tree for Vijayan-style min-cost tree
+// partitioning (paper ref [16]): every vertex can hold logic up to its
+// capacity, and nets pay the weight of the minimal spanning subtree of
+// their host vertices.
+type HostTree = treemap.HostTree
+
+// NewHostTree creates a host tree with the given vertex capacities.
+func NewHostTree(capacities []int64) *HostTree { return treemap.NewHostTree(capacities) }
+
+// TreeMapping assigns netlist nodes to host-tree vertices.
+type TreeMapping = treemap.Mapping
+
+// TreeMapOptions tunes MapOntoTree.
+type TreeMapOptions = treemap.Options
+
+// MapOntoTree maps the netlist onto a fixed host tree, minimizing global
+// routing cost subject to vertex capacities.
+func MapOntoTree(h *Hypergraph, t *HostTree, opt TreeMapOptions) (*TreeMapping, error) {
+	return treemap.Map(h, t, opt)
+}

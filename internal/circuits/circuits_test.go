@@ -1,0 +1,175 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/metric"
+)
+
+func TestFigure2Shape(t *testing.T) {
+	h, spec, groups := Figure2()
+	if h.NumNodes() != 16 {
+		t.Fatalf("nodes = %d, want 16", h.NumNodes())
+	}
+	if h.NumNets() != 30 {
+		t.Fatalf("nets = %d, want 30 (the paper's edge count)", h.NumNets())
+	}
+	for e := 0; e < 30; e++ {
+		if len(h.Pins(hypergraph.NetID(e))) != 2 || h.NetCapacity(hypergraph.NetID(e)) != 1 {
+			t.Fatal("Figure 2 must be a unit-capacity graph")
+		}
+	}
+	if spec.Capacity[0] != 4 || spec.Capacity[1] != 8 {
+		t.Fatalf("capacities = %v", spec.Capacity)
+	}
+	if spec.Weight[0] != 1 || spec.Weight[1] != 2 {
+		t.Fatalf("weights = %v", spec.Weight)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for _, g := range groups {
+		if len(g) != 4 {
+			t.Fatalf("group size = %d", len(g))
+		}
+	}
+}
+
+func TestFigure2PartitionCostMatchesPaper(t *testing.T) {
+	p := Figure2Partition()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cost(); math.Abs(got-Figure2OptimalCost) > 1e-12 {
+		t.Fatalf("cost = %g, want %g", got, Figure2OptimalCost)
+	}
+}
+
+// TestFigure2InducedMetricLabels reproduces the figure's annotation: cut
+// edges carry d(e) = 2 (level-0 cuts) or 6 (level-1 cuts); all others 0.
+func TestFigure2InducedMetricLabels(t *testing.T) {
+	p := Figure2Partition()
+	m := metric.FromPartition(p)
+	var twos, sixes, zeros int
+	for e := range m.D {
+		switch m.D[e] {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		case 6:
+			sixes++
+		default:
+			t.Fatalf("unexpected metric label %g on net %d", m.D[e], e)
+		}
+	}
+	if zeros != 24 || twos != 4 || sixes != 2 {
+		t.Fatalf("labels: %d zeros, %d twos, %d sixes; want 24/4/2", zeros, twos, sixes)
+	}
+	// Lemma 1 on the figure: the induced metric is feasible and its value
+	// equals the cost.
+	if bad := metric.Check(m, p.Spec); bad != nil {
+		t.Fatalf("induced metric infeasible: %v", bad)
+	}
+	if math.Abs(m.Value()-Figure2OptimalCost) > 1e-12 {
+		t.Fatalf("metric value = %g", m.Value())
+	}
+}
+
+func TestGenerateMatchesGateCounts(t *testing.T) {
+	for _, spec := range ISCAS85 {
+		h := Generate(spec, 1)
+		if h.NumNodes() != spec.Gates {
+			t.Fatalf("%s: nodes = %d, want %d", spec.Name, h.NumNodes(), spec.Gates)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		st := hypergraph.ComputeStats(h)
+		// Netlist sanity: nets on the order of the gate count, 2-4 pins per
+		// net on average, and a mostly connected structure.
+		if st.Nets < spec.Gates/2 || st.Nets > 2*spec.Gates {
+			t.Fatalf("%s: nets = %d for %d gates", spec.Name, st.Nets, spec.Gates)
+		}
+		if st.AvgNetCard < 2 || st.AvgNetCard > 5 {
+			t.Fatalf("%s: avg net cardinality %g", spec.Name, st.AvgNetCard)
+		}
+		if st.Components > spec.Gates/20 {
+			t.Fatalf("%s: %d components — generator lost connectivity", spec.Name, st.Components)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := ISCAS85[0]
+	h1 := Generate(spec, 42)
+	h2 := Generate(spec, 42)
+	if h1.NumNets() != h2.NumNets() || h1.NumPins() != h2.NumPins() {
+		t.Fatal("same seed produced different circuits")
+	}
+	for e := 0; e < h1.NumNets(); e++ {
+		p1, p2 := h1.Pins(hypergraph.NetID(e)), h2.Pins(hypergraph.NetID(e))
+		if len(p1) != len(p2) {
+			t.Fatal("same seed produced different nets")
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatal("same seed produced different pins")
+			}
+		}
+	}
+	h3 := Generate(spec, 43)
+	if h3.NumPins() == h1.NumPins() && h3.NumNets() == h1.NumNets() {
+		t.Log("different seeds produced same shape (possible but unusual)")
+	}
+}
+
+func TestGenerateIsLocal(t *testing.T) {
+	// Locality: the average topological distance spanned by 2-pin nets must
+	// be far below the random-graph expectation (n/3).
+	spec := ISCAS85[1]
+	h := Generate(spec, 7)
+	var dist, count float64
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(hypergraph.NetID(e))
+		if len(pins) != 2 {
+			continue
+		}
+		d := float64(pins[0] - pins[1])
+		if d < 0 {
+			d = -d
+		}
+		dist += d
+		count++
+	}
+	avg := dist / count
+	if avg > float64(spec.Gates)/8 {
+		t.Fatalf("average net span %g of %d gates — not clustered", avg, spec.Gates)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("c6288")
+	if err != nil || s.Gates != 2406 {
+		t.Fatalf("ByName: %+v, %v", s, err)
+	}
+	if _, err := ByName("c9999"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestClustered(t *testing.T) {
+	h := Clustered(4, 8, 0.5, 3)
+	if h.NumNodes() != 32 {
+		t.Fatalf("nodes = %d", h.NumNodes())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comps := h.Components()
+	if len(comps) != 1 {
+		t.Fatalf("ring of clusters must be connected, got %d components", len(comps))
+	}
+}

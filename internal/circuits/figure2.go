@@ -1,0 +1,80 @@
+// Package circuits supplies the benchmark workloads of the reproduction:
+// the worked example of Figure 2 of the paper, deterministic synthetic
+// ISCAS85-class gate-level netlists standing in for the unavailable MCNC
+// benchmark files (see DESIGN.md, substitution 1), and auxiliary generators
+// used by tests and ablation benches.
+package circuits
+
+import (
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// Figure2 reconstructs the paper's worked example: a graph of 16 unit-size
+// nodes and 30 unit-capacity edges that partitions optimally into the
+// hierarchy C = (4, 8), w = (1, 2), K = (2, 2) — four leaves of 4 nodes
+// under two level-1 blocks of 8. In the optimal partition the four edges cut
+// only at level 0 have cost 2 each and the two edges cut at level 1 have
+// cost 6 each, exactly the spreading-metric labels d(e) ∈ {2, 6} shown in
+// the figure; the exact edge drawing is not recoverable from the scan, so
+// the reconstruction uses four 4-cliques (24 edges) plus 6 cross edges with
+// the same cut structure. Total optimal cost: 4·2 + 2·6 = 20.
+//
+// It returns the hypergraph, the spec, and the intended optimal leaf
+// assignment: nodes 4i..4i+3 belong to leaf i, leaves {0,1} and {2,3} are
+// siblings.
+func Figure2() (*hypergraph.Hypergraph, hierarchy.Spec, [][]hypergraph.NodeID) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(16)
+	// Four 4-cliques: the leaf blocks.
+	for g := 0; g < 4; g++ {
+		base := hypergraph.NodeID(g * 4)
+		for i := hypergraph.NodeID(0); i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddNet("", 1, base+i, base+j)
+			}
+		}
+	}
+	// Cross edges cut only at level 0 (between sibling leaves), like the
+	// figure's edge (a,b): two between leaves 0-1 and two between 2-3.
+	b.AddNet("", 1, 0, 4)
+	b.AddNet("", 1, 3, 7)
+	b.AddNet("", 1, 8, 12)
+	b.AddNet("", 1, 11, 15)
+	// Cross edges cut at level 1 (between the two level-1 blocks), like the
+	// figure's edge (c,d).
+	b.AddNet("", 1, 1, 9)
+	b.AddNet("", 1, 6, 14)
+	h := b.MustBuild()
+
+	spec := hierarchy.Spec{
+		Capacity: []int64{4, 8},
+		Weight:   []float64{1, 2},
+		Branch:   []int{2, 2},
+	}
+	groups := make([][]hypergraph.NodeID, 4)
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 4; i++ {
+			groups[g] = append(groups[g], hypergraph.NodeID(g*4+i))
+		}
+	}
+	return h, spec, groups
+}
+
+// Figure2OptimalCost is the interconnection cost of the intended partition.
+const Figure2OptimalCost = 20.0
+
+// Figure2Partition builds the intended optimal partition object.
+func Figure2Partition() *hierarchy.Partition {
+	h, spec, groups := Figure2()
+	tr := hierarchy.NewTree(2)
+	pa, pb := tr.AddChild(tr.Root()), tr.AddChild(tr.Root())
+	leaves := []int{tr.AddChild(pa), tr.AddChild(pa), tr.AddChild(pb), tr.AddChild(pb)}
+	p := hierarchy.NewPartition(h, spec, tr)
+	for g, nodes := range groups {
+		for _, v := range nodes {
+			p.Assign(v, leaves[g])
+		}
+	}
+	return p
+}

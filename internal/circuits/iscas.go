@@ -1,0 +1,253 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// CircuitSpec describes an ISCAS85-class circuit by its published size
+// statistics: gate count and primary I/O counts. The generator reproduces
+// these totals with synthetic connectivity (see DESIGN.md substitution 1).
+type CircuitSpec struct {
+	Name  string
+	Gates int
+	PIs   int
+	POs   int
+}
+
+// ISCAS85 lists the five test cases used in the paper's experiments
+// (Table 1), with the published gate and primary-I/O counts of the original
+// MCNC/ISCAS-85 netlists.
+var ISCAS85 = []CircuitSpec{
+	{Name: "c1355", Gates: 546, PIs: 41, POs: 32},
+	{Name: "c2670", Gates: 1193, PIs: 233, POs: 140},
+	{Name: "c3540", Gates: 1669, PIs: 50, POs: 22},
+	{Name: "c6288", Gates: 2406, PIs: 32, POs: 32},
+	{Name: "c7552", Gates: 3512, PIs: 207, POs: 108},
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (CircuitSpec, error) {
+	for _, s := range ISCAS85 {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return CircuitSpec{}, fmt.Errorf("circuits: unknown circuit %q", name)
+}
+
+// Generate builds a deterministic synthetic gate-level netlist with the
+// spec's gate count, imitating the structure of real combinational logic:
+//
+//   - gates form a topologically ordered DAG of mostly 2-input gates;
+//   - gates belong to modules (~n/24 gates each) nested in supermodules of
+//     four, and fanin selection is module-local with falling probability
+//     for sibling-module and anywhere connections (Rent-like locality);
+//   - a small fraction of sources are high-fanout control signals (clock
+//     trees, enables) spanning a module, a supermodule, or the whole
+//     circuit — the net-cardinality tail that real netlists exhibit and
+//     that distinguishes hypergraph-aware partitioners from graph ones.
+//
+// Nodes are the gates (unit size). Each signal source — primary input or
+// gate output — that reaches at least one other gate becomes a net
+// containing the driver (for gate outputs) and all consumers; single-pin
+// nets (unconsumed outputs, i.e. primary outputs, and unused PIs) do not
+// appear, matching netlist-hypergraph semantics where |e| >= 2.
+func Generate(spec CircuitSpec, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	for g := 0; g < spec.Gates; g++ {
+		b.AddNode(fmt.Sprintf("%s_g%d", spec.Name, g), 1)
+	}
+
+	moduleSize := spec.Gates / 24
+	if moduleSize < 8 {
+		moduleSize = 8
+	}
+	module := func(g int) int { return g / moduleSize }
+	superOf := func(m int) int { return m / 4 }
+	numModules := (spec.Gates + moduleSize - 1) / moduleSize
+
+	// consumers[s] collects the gates reading source s; sources 0..PIs-1
+	// are primary inputs, PIs+g is gate g's output.
+	consumers := make([][]hypergraph.NodeID, spec.PIs+spec.Gates)
+
+	pick := func(lo, hi, except int) int { // a gate index in [lo,hi), != except
+		if hi > spec.Gates {
+			hi = spec.Gates
+		}
+		if hi-lo <= 1 {
+			return lo
+		}
+		for {
+			v := lo + rng.Intn(hi-lo)
+			if v != except {
+				return v
+			}
+		}
+	}
+
+	for g := 0; g < spec.Gates; g++ {
+		fanins := 2
+		if rng.Float64() < 0.15 {
+			fanins = 3 // occasional wider gate, nudging the pin count up
+		}
+		m := module(g)
+		for f := 0; f < fanins; f++ {
+			var src int
+			r := rng.Float64()
+			switch {
+			case g == 0 || r < piShare(spec, g):
+				// Read a primary input; PI index correlates with module so
+				// pad connections are local too.
+				base := int(float64(spec.PIs) * float64(g) / float64(spec.Gates))
+				src = clamp(base+rng.Intn(spec.PIs/8+1)-spec.PIs/16, 0, spec.PIs-1)
+			case r < 0.75:
+				// Module-local: an earlier gate of the same module (or the
+				// previous gate when the module has no earlier gate).
+				lo := m * moduleSize
+				if lo >= g {
+					lo = maxInt(0, g-moduleSize)
+				}
+				src = spec.PIs + pick(lo, g, g)
+			case r < 0.93:
+				// Sibling module within the supermodule.
+				sm := superOf(m)
+				lo := sm * 4 * moduleSize
+				hi := (sm + 1) * 4 * moduleSize
+				if lo >= g {
+					lo = maxInt(0, g-4*moduleSize)
+				}
+				if hi > g {
+					hi = g
+				}
+				src = spec.PIs + pick(lo, hi, g)
+			default:
+				// Anywhere earlier: long-range reconvergence.
+				src = spec.PIs + rng.Intn(g)
+			}
+			consumers[src] = append(consumers[src], hypergraph.NodeID(g))
+		}
+	}
+
+	// Control signals: one per module with fanout inside the module, one
+	// per supermodule spanning it, and a couple of global nets — the
+	// high-cardinality tail (buffered clocks/enables) of real circuits.
+	addControl := func(driver, lo, hi, fanout int) {
+		if hi > spec.Gates {
+			hi = spec.Gates
+		}
+		if hi-lo < 2 {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			consumers[spec.PIs+driver] = append(consumers[spec.PIs+driver],
+				hypergraph.NodeID(lo+rng.Intn(hi-lo)))
+		}
+	}
+	for m := 0; m < numModules; m++ {
+		lo, hi := m*moduleSize, (m+1)*moduleSize
+		driver := pick(lo, minInt(hi, spec.Gates), -1)
+		addControl(driver, lo, hi, 4+rng.Intn(moduleSize/2+1))
+	}
+	for sm := 0; sm*4 < numModules; sm++ {
+		lo, hi := sm*4*moduleSize, (sm+1)*4*moduleSize
+		driver := pick(lo, minInt(hi, spec.Gates), -1)
+		addControl(driver, lo, hi, 8+rng.Intn(2*moduleSize))
+	}
+	for i := 0; i < 2+spec.Gates/1500; i++ {
+		driver := rng.Intn(spec.Gates)
+		addControl(driver, 0, spec.Gates, spec.Gates/20+rng.Intn(spec.Gates/10+1))
+	}
+
+	for s, cons := range consumers {
+		pins := dedupe(cons)
+		if s >= spec.PIs {
+			driver := hypergraph.NodeID(s - spec.PIs)
+			pins = dedupeWith(pins, driver)
+		}
+		if len(pins) >= 2 {
+			b.AddNet("", 1, pins...)
+		}
+	}
+	return b.MustBuild()
+}
+
+// piShare returns the probability that gate g reads a primary input: high
+// near the front of the topological order, tapering off.
+func piShare(spec CircuitSpec, g int) float64 {
+	frac := float64(g) / float64(spec.Gates)
+	base := float64(spec.PIs) / float64(spec.Gates) // overall PI pressure
+	return 0.6*(1-frac)*(1-frac) + base*0.3
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func dedupe(in []hypergraph.NodeID) []hypergraph.NodeID {
+	seen := make(map[hypergraph.NodeID]bool, len(in))
+	out := in[:0:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupeWith(pins []hypergraph.NodeID, extra hypergraph.NodeID) []hypergraph.NodeID {
+	for _, v := range pins {
+		if v == extra {
+			return pins
+		}
+	}
+	return append(pins, extra)
+}
+
+// Clustered generates `clusters` groups of `per` unit nodes with dense
+// random 2-pin intra-cluster nets (given density in [0,1]) and a ring of
+// single bridges between consecutive clusters — the canonical workload for
+// scaling benches and sanity tests.
+func Clustered(clusters, per int, density float64, seed int64) *hypergraph.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(clusters * per)
+	for c := 0; c < clusters; c++ {
+		base := c * per
+		for i := 0; i < per; i++ {
+			for j := i + 1; j < per; j++ {
+				if rng.Float64() < density {
+					b.AddNet("", 1, hypergraph.NodeID(base+i), hypergraph.NodeID(base+j))
+				}
+			}
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		b.AddNet("", 1, hypergraph.NodeID(c*per), hypergraph.NodeID(((c+1)%clusters)*per))
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,144 @@
+// Package graph provides a simple weighted undirected multigraph with dense
+// integer vertex IDs. It is the substrate for the plain-graph variants of
+// Dijkstra, Prim/Kruskal, and the LP/metric machinery, and is the target of
+// the clique/star expansions of hypergraphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between U and V with a non-negative Weight.
+// Weight plays the role of capacity c(e) or length d(e) depending on context.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is an undirected multigraph. Parallel edges and self-loops are
+// permitted (self-loops are ignored by most algorithms). Edges are stored
+// once and referenced by index from both endpoints' adjacency lists.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]int32 // adj[v] = indices into edges
+}
+
+// New returns an empty graph with n vertices 0..n-1.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// NumVertices reports the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge and returns its index.
+func (g *Graph) AddEdge(u, v int, w float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: endpoint out of range (%d,%d) with n=%d", u, v, g.n))
+	}
+	if w < 0 {
+		panic("graph: negative edge weight")
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w})
+	g.adj[u] = append(g.adj[u], int32(idx))
+	if v != u {
+		g.adj[v] = append(g.adj[v], int32(idx))
+	}
+	return idx
+}
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// SetWeight updates the weight of edge i.
+func (g *Graph) SetWeight(i int, w float64) {
+	if w < 0 {
+		panic("graph: negative edge weight")
+	}
+	g.edges[i].Weight = w
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// IncidentEdges returns the indices of edges incident to v. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) IncidentEdges(v int) []int32 { return g.adj[v] }
+
+// Other returns the endpoint of edge i that is not v. For a self-loop it
+// returns v itself.
+func (g *Graph) Other(i, v int) int {
+	e := g.edges[i]
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// Degree returns the number of edge endpoints at v (self-loops count once).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for v, a := range g.adj {
+		c.adj[v] = make([]int32, len(a))
+		copy(c.adj[v], a)
+	}
+	return c
+}
+
+// Components returns the connected components as slices of vertex IDs,
+// each sorted ascending, ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	stack := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], s)
+		comp := []int{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, ei := range g.adj[v] {
+				u := g.Other(int(ei), v)
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := New(4)
+	i0 := g.AddEdge(0, 1, 2.5)
+	i1 := g.AddEdge(1, 2, 1.0)
+	i2 := g.AddEdge(0, 1, 0.5) // parallel edge
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if e := g.Edge(i0); e.U != 0 || e.V != 1 || e.Weight != 2.5 {
+		t.Fatalf("Edge(%d) = %+v", i0, e)
+	}
+	if g.Other(i1, 1) != 2 || g.Other(i1, 2) != 1 {
+		t.Fatal("Other is wrong")
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(3) != 0 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(3))
+	}
+	if w := g.TotalWeight(); w != 4.0 {
+		t.Fatalf("TotalWeight = %g", w)
+	}
+	g.SetWeight(i2, 3.0)
+	if g.Edge(i2).Weight != 3.0 {
+		t.Fatal("SetWeight did not stick")
+	}
+}
+
+func TestSelfLoopSingleAdjacency(t *testing.T) {
+	g := New(2)
+	i := g.AddEdge(0, 0, 1)
+	if g.Degree(0) != 1 {
+		t.Fatalf("self-loop degree = %d, want 1", g.Degree(0))
+	}
+	if g.Other(i, 0) != 0 {
+		t.Fatal("Other on self-loop")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("negative n", func() { New(-1) })
+	g := New(2)
+	expectPanic("endpoint range", func() { g.AddEdge(0, 2, 1) })
+	expectPanic("negative weight", func() { g.AddEdge(0, 1, -1) })
+	i := g.AddEdge(0, 1, 1)
+	expectPanic("SetWeight negative", func() { g.SetWeight(i, -2) })
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(4, 5, 1)
+	comps := g.Components()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if len(comps) != len(want) {
+		t.Fatalf("got %d components, want %d: %v", len(comps), len(want), comps)
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	i := g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	g.SetWeight(i, 9)
+	g.AddEdge(1, 2, 2)
+	if c.NumEdges() != 1 || c.Edge(i).Weight != 1 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestComponentsRandomMatchesDSU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, 1)
+			parent[find(u)] = find(v)
+		}
+		comps := g.Components()
+		seen := map[int]int{}
+		for ci, comp := range comps {
+			for _, v := range comp {
+				seen[v] = ci
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("components cover %d of %d vertices", len(seen), n)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if (find(u) == find(v)) != (seen[u] == seen[v]) {
+					t.Fatalf("trial %d: connectivity mismatch for %d,%d", trial, u, v)
+				}
+			}
+		}
+	}
+}

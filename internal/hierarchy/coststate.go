@@ -1,0 +1,194 @@
+package hierarchy
+
+import "repro/internal/hypergraph"
+
+// CostState maintains the hierarchical cost of a partition incrementally
+// under leaf-to-leaf node moves. It is the bookkeeping behind the paper's
+// FM-based iterative improvement ("+"-variants): a move's cost delta is
+// computed in O(Σ_{e∋v} levels) without re-evaluating any net from scratch,
+// and capacity feasibility is checked along the destination root path.
+//
+// The tree must not change while a CostState is live.
+type CostState struct {
+	P   *Partition
+	top int // root level
+
+	anc    [][]int32 // anc[leaf] = ancestor vertex at each level 0..top
+	counts []map[int32]int32
+	blocks []int32 // blocks[e*top+l] = number of distinct level-l blocks of net e
+	sizes  []int64 // per-vertex assigned size
+	cost   float64
+}
+
+// NewCostState builds the incremental state; every node must be assigned.
+func NewCostState(p *Partition) *CostState {
+	top := p.Tree.Level(p.Tree.Root())
+	if top > p.Spec.Height() {
+		top = p.Spec.Height()
+	}
+	cs := &CostState{
+		P:      p,
+		top:    top,
+		anc:    make([][]int32, p.Tree.NumVertices()),
+		counts: make([]map[int32]int32, p.H.NumNets()*top),
+		blocks: make([]int32, p.H.NumNets()*top),
+		sizes:  make([]int64, p.Tree.NumVertices()),
+	}
+	for _, leaf := range p.Tree.Leaves() {
+		row := make([]int32, top+1)
+		q := leaf
+		for l := 0; l <= top; l++ {
+			row[l] = int32(q)
+			if l < top {
+				q = p.Tree.Parent(q)
+			}
+		}
+		cs.anc[leaf] = row
+	}
+	for v := 0; v < p.H.NumNodes(); v++ {
+		leaf := p.LeafOf[v]
+		if leaf < 0 {
+			panic("hierarchy: CostState over unassigned node")
+		}
+		s := p.H.NodeSize(hypergraph.NodeID(v))
+		for q := int(leaf); q >= 0; q = p.Tree.Parent(q) {
+			cs.sizes[q] += s
+		}
+	}
+	for e := 0; e < p.H.NumNets(); e++ {
+		for l := 0; l < top; l++ {
+			idx := e*top + l
+			cs.counts[idx] = make(map[int32]int32, 4)
+			for _, v := range p.H.Pins(hypergraph.NetID(e)) {
+				b := cs.anc[p.LeafOf[v]][l]
+				cs.counts[idx][b]++
+			}
+			cs.blocks[idx] = int32(len(cs.counts[idx]))
+			cs.cost += p.Spec.Weight[l] * spanValue(int(cs.blocks[idx])) * p.H.NetCapacity(hypergraph.NetID(e))
+		}
+	}
+	return cs
+}
+
+func spanValue(blocks int) float64 {
+	if blocks <= 1 {
+		return 0
+	}
+	return float64(blocks)
+}
+
+// Cost returns the current total interconnection cost.
+func (cs *CostState) Cost() float64 { return cs.cost }
+
+// TopLevel returns the number of levels with cost contributions.
+func (cs *CostState) TopLevel() int { return cs.top }
+
+// BlockSize returns the size currently assigned to tree vertex q.
+func (cs *CostState) BlockSize(q int) int64 { return cs.sizes[q] }
+
+// divergeLevel returns the lowest level at which the two leaves share an
+// ancestor; levels below it differ.
+func (cs *CostState) divergeLevel(a, b int32) int {
+	ra, rb := cs.anc[a], cs.anc[b]
+	for l := 0; l <= cs.top; l++ {
+		if ra[l] == rb[l] {
+			return l
+		}
+	}
+	return cs.top
+}
+
+// MoveDelta returns the cost change of moving node v to leaf toLeaf
+// (negative is an improvement). Moving to the current leaf returns 0.
+func (cs *CostState) MoveDelta(v hypergraph.NodeID, toLeaf int) float64 {
+	from := cs.P.LeafOf[v]
+	to := int32(toLeaf)
+	if from == to {
+		return 0
+	}
+	lca := cs.divergeLevel(from, to)
+	var delta float64
+	for _, e := range cs.P.H.Incident(v) {
+		c := cs.P.H.NetCapacity(e)
+		for l := 0; l < lca; l++ {
+			idx := int(e)*cs.top + l
+			a, b := cs.anc[from][l], cs.anc[to][l]
+			if a == b {
+				continue
+			}
+			old := int(cs.blocks[idx])
+			now := old
+			if cs.counts[idx][a] == 1 {
+				now--
+			}
+			if cs.counts[idx][b] == 0 {
+				now++
+			}
+			delta += cs.P.Spec.Weight[l] * c * (spanValue(now) - spanValue(old))
+		}
+	}
+	return delta
+}
+
+// CanMove reports whether moving v to toLeaf respects all capacities on the
+// destination root path (only levels below the diverge point gain size).
+func (cs *CostState) CanMove(v hypergraph.NodeID, toLeaf int) bool {
+	from := cs.P.LeafOf[v]
+	to := int32(toLeaf)
+	if from == to {
+		return true
+	}
+	lca := cs.divergeLevel(from, to)
+	s := cs.P.H.NodeSize(v)
+	for l := 0; l < lca && l < cs.P.Spec.Height(); l++ {
+		q := cs.anc[to][l]
+		if cs.sizes[q]+s > cs.P.Spec.Capacity[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply moves v to toLeaf, updating the assignment, sizes, span counts, and
+// cost. It returns the realized cost delta (equal to MoveDelta beforehand).
+func (cs *CostState) Apply(v hypergraph.NodeID, toLeaf int) float64 {
+	from := cs.P.LeafOf[v]
+	to := int32(toLeaf)
+	if from == to {
+		return 0
+	}
+	lca := cs.divergeLevel(from, to)
+	var delta float64
+	for _, e := range cs.P.H.Incident(v) {
+		c := cs.P.H.NetCapacity(e)
+		for l := 0; l < lca; l++ {
+			idx := int(e)*cs.top + l
+			a, b := cs.anc[from][l], cs.anc[to][l]
+			if a == b {
+				continue
+			}
+			old := int(cs.blocks[idx])
+			now := old
+			if cs.counts[idx][a] == 1 {
+				delete(cs.counts[idx], a)
+				now--
+			} else {
+				cs.counts[idx][a]--
+			}
+			if cs.counts[idx][b] == 0 {
+				now++
+			}
+			cs.counts[idx][b]++
+			cs.blocks[idx] = int32(now)
+			delta += cs.P.Spec.Weight[l] * c * (spanValue(now) - spanValue(old))
+		}
+	}
+	s := cs.P.H.NodeSize(v)
+	for l := 0; l < lca; l++ {
+		cs.sizes[cs.anc[from][l]] -= s
+		cs.sizes[cs.anc[to][l]] += s
+	}
+	cs.P.LeafOf[v] = to
+	cs.cost += delta
+	return delta
+}

@@ -1,0 +1,85 @@
+package htp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// BruteForce finds a cost-optimal hierarchical tree partition by exhaustive
+// assignment over a complete K-ary layered tree (which contains every
+// feasible partition shape up to empty blocks, since empty blocks never
+// contribute span). It is exponential — n·leaves^n — and exists purely as a
+// test oracle for tiny instances (n <~ 10).
+func BruteForce(h *hypergraph.Hypergraph, spec hierarchy.Spec) (*hierarchy.Partition, float64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := h.NumNodes()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("htp: empty hypergraph")
+	}
+	top := spec.TopLevel(h.TotalSize())
+	tree := hierarchy.NewTree(top)
+	// Complete tree: every vertex at level l >= 1 has Branch[l-1] children.
+	var expand func(q int)
+	expand = func(q int) {
+		l := tree.Level(q)
+		if l == 0 {
+			return
+		}
+		for i := 0; i < spec.Branch[l-1]; i++ {
+			expand(tree.AddChild(q))
+		}
+	}
+	expand(tree.Root())
+	leaves := tree.Leaves()
+
+	p := hierarchy.NewPartition(h, spec, tree)
+	sizes := make([]int64, tree.NumVertices())
+	bestCost := math.Inf(1)
+	var bestLeaf []int32
+
+	var assign func(v int)
+	assign = func(v int) {
+		if v == n {
+			cost := p.Cost()
+			if cost < bestCost {
+				bestCost = cost
+				bestLeaf = append(bestLeaf[:0], p.LeafOf...)
+			}
+			return
+		}
+		s := h.NodeSize(hypergraph.NodeID(v))
+		for _, leaf := range leaves {
+			// Capacity check along the root path (root level is unbounded).
+			ok := true
+			for q := leaf; q >= 0; q = tree.Parent(q) {
+				if l := tree.Level(q); l < spec.Height() && sizes[q]+s > spec.Capacity[l] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for q := leaf; q >= 0; q = tree.Parent(q) {
+				sizes[q] += s
+			}
+			p.LeafOf[v] = int32(leaf)
+			assign(v + 1)
+			for q := leaf; q >= 0; q = tree.Parent(q) {
+				sizes[q] -= s
+			}
+			p.LeafOf[v] = -1
+		}
+	}
+	assign(0)
+	if bestLeaf == nil {
+		return nil, 0, fmt.Errorf("htp: no feasible assignment")
+	}
+	copy(p.LeafOf, bestLeaf)
+	return p, bestCost, nil
+}

@@ -1,0 +1,224 @@
+package htp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// CutEngine selects the node set to separate next during top-down
+// construction: given the current sub-hypergraph, per-net lengths (indexed
+// by the subgraph's net IDs), and the size window, it returns the nodes (in
+// sub-hypergraph IDs) to split off. Algorithm 3 uses the spreading-metric
+// Prim growth; RFM plugs in an FM min-cut engine instead.
+type CutEngine func(sub *hypergraph.Hypergraph, d []float64, lb, ub int64, rng *rand.Rand) []hypergraph.NodeID
+
+// BuildOptions tunes the top-down construction (Algorithm 3).
+type BuildOptions struct {
+	// Rng seeds the cut growth. Defaults to a fixed seed.
+	Rng *rand.Rand
+	// FixedLB reproduces the paper's literal LB = s(V)/K_l computed once
+	// per recursion. The default (false) recomputes
+	// LB = s(remaining)/(slots left), which guarantees the branch bound
+	// K_l; see DESIGN.md §5. Compared in the ablation bench.
+	FixedLB bool
+	// Engine overrides the cut engine; nil selects the spreading-metric
+	// find_cut of Algorithm 3.
+	Engine CutEngine
+	// CarveAttempts runs the cut engine this many times per separation
+	// (fresh random seeds) and keeps the piece with the smallest crossing
+	// capacity. A finer-grained form of the paper's §5 suggestion to build
+	// multiple partitions per metric; the growth is cheap next to the
+	// metric computation. Default 4. RFM sets 1 (its FM engine is already
+	// a full local search).
+	CarveAttempts int
+	// PolishCuts refines each selected piece's boundary with FM passes
+	// before recursing — the "more sophisticated algorithms ... to find a
+	// minimum cut" refinement the paper's §5 leaves as future work. Off by
+	// default so FLOW stays purely constructive as in Table 2; the ablation
+	// bench measures what it buys.
+	PolishCuts bool
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	if o.Engine == nil {
+		o.Engine = findCut
+	}
+	if o.CarveAttempts == 0 {
+		o.CarveAttempts = 4
+	}
+	return o
+}
+
+// Build constructs a hierarchical tree partition from per-net lengths d
+// (a spreading metric) by the top-down recursion of Algorithm 3: the root
+// level follows from the design size; at each vertex of level l, node sets
+// within [LB..C_{l-1}] are repeatedly separated by the cut engine and each
+// is recursed on one level down. Pieces that already fit lower levels grow
+// single-child chains, keeping all leaves at level 0.
+func Build(h *hypergraph.Hypergraph, spec hierarchy.Spec, d []float64, opt BuildOptions) (*hierarchy.Partition, error) {
+	opt = opt.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d) != h.NumNets() {
+		return nil, fmt.Errorf("htp: %d lengths for %d nets", len(d), h.NumNets())
+	}
+	if h.NumNodes() == 0 {
+		return nil, fmt.Errorf("htp: empty hypergraph")
+	}
+	for v := 0; v < h.NumNodes(); v++ {
+		if h.NodeSize(hypergraph.NodeID(v)) > spec.Capacity[0] {
+			return nil, fmt.Errorf("htp: node %d size %d exceeds C_0 = %d",
+				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0])
+		}
+	}
+
+	top := spec.TopLevel(h.TotalSize())
+	tree := hierarchy.NewTree(top)
+	p := hierarchy.NewPartition(h, spec, tree)
+
+	all := make([]hypergraph.NodeID, h.NumNodes())
+	for i := range all {
+		all[i] = hypergraph.NodeID(i)
+	}
+	b := &builder{p: p, spec: spec, opt: opt}
+	b.place(tree.Root(), h, all, d)
+	return p, nil
+}
+
+type builder struct {
+	p    *hierarchy.Partition
+	spec hierarchy.Spec
+	opt  BuildOptions
+}
+
+// place assigns the node set held by sub to tree vertex q, carving children
+// recursively. sub's node v is orig[v] in the root hypergraph; d[e] is the
+// metric length of sub's net e.
+func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, d []float64) {
+	tree := b.p.Tree
+	level := tree.Level(q)
+	if level == 0 {
+		for _, v := range orig {
+			b.p.Assign(v, q)
+		}
+		return
+	}
+	k := b.spec.Branch[level-1]
+	ub := b.spec.Capacity[level-1]
+	remaining, remOrig, remD := sub, orig, d
+	fixedLB := (sub.TotalSize() + int64(k) - 1) / int64(k)
+
+	for slot := 0; remaining.NumNodes() > 0; slot++ {
+		var piece []hypergraph.NodeID // in remaining's IDs
+		if remaining.TotalSize() <= ub {
+			piece = allNodes(remaining)
+		} else {
+			lb := fixedLB
+			if !b.opt.FixedLB {
+				slotsLeft := int64(k - slot)
+				if slotsLeft < 1 {
+					slotsLeft = 1
+				}
+				lb = (remaining.TotalSize() + slotsLeft - 1) / slotsLeft
+			}
+			if lb > ub {
+				lb = ub
+			}
+			piece = b.carve(remaining, remD, lb, ub)
+		}
+
+		child := tree.AddChild(q)
+		pieceOrig := make([]hypergraph.NodeID, len(piece))
+		for i, v := range piece {
+			pieceOrig[i] = remOrig[v]
+		}
+		pieceSub, _, pieceNets := remaining.InducedSubgraph(piece)
+		pieceD := project(remD, pieceNets)
+		b.place(child, pieceSub, pieceOrig, pieceD)
+
+		if len(piece) == remaining.NumNodes() {
+			break
+		}
+		inPiece := make(map[hypergraph.NodeID]bool, len(piece))
+		for _, v := range piece {
+			inPiece[v] = true
+		}
+		keep := make([]hypergraph.NodeID, 0, remaining.NumNodes()-len(piece))
+		keepOrig := make([]hypergraph.NodeID, 0, cap(keep))
+		for v := 0; v < remaining.NumNodes(); v++ {
+			if !inPiece[hypergraph.NodeID(v)] {
+				keep = append(keep, hypergraph.NodeID(v))
+				keepOrig = append(keepOrig, remOrig[v])
+			}
+		}
+		var keepNets []hypergraph.NetID
+		remaining, _, keepNets = remaining.InducedSubgraph(keep)
+		remD = project(remD, keepNets)
+		remOrig = keepOrig
+	}
+}
+
+// carve runs the cut engine CarveAttempts times and returns the piece with
+// the smallest crossing capacity (ties to the first found).
+func (b *builder) carve(sub *hypergraph.Hypergraph, d []float64, lb, ub int64) []hypergraph.NodeID {
+	var best []hypergraph.NodeID
+	bestCut := 0.0
+	in := make([]bool, sub.NumNodes())
+	for attempt := 0; attempt < b.opt.CarveAttempts; attempt++ {
+		piece := b.opt.Engine(sub, d, lb, ub, b.opt.Rng)
+		for i := range in {
+			in[i] = false
+		}
+		for _, v := range piece {
+			in[v] = true
+		}
+		cut, _ := sub.CutCapacity(in)
+		if best == nil || cut < bestCut {
+			best, bestCut = piece, cut
+		}
+	}
+	if b.opt.PolishCuts && len(best) > 0 && len(best) < sub.NumNodes() {
+		in := make([]bool, sub.NumNodes())
+		for _, v := range best {
+			in[v] = true
+		}
+		fm.RefineBipartition(sub, in, lb, ub, fm.BiOptions{Rng: b.opt.Rng})
+		polished := best[:0:0]
+		var size int64
+		for v := 0; v < sub.NumNodes(); v++ {
+			if in[v] {
+				polished = append(polished, hypergraph.NodeID(v))
+				size += sub.NodeSize(hypergraph.NodeID(v))
+			}
+		}
+		if int64(len(polished)) > 0 && size <= ub {
+			best = polished
+		}
+	}
+	return best
+}
+
+// project maps parent net lengths onto an induced subgraph's nets.
+func project(d []float64, netMap []hypergraph.NetID) []float64 {
+	out := make([]float64, len(netMap))
+	for i, e := range netMap {
+		out[i] = d[e]
+	}
+	return out
+}
+
+func allNodes(h *hypergraph.Hypergraph) []hypergraph.NodeID {
+	out := make([]hypergraph.NodeID, h.NumNodes())
+	for i := range out {
+		out[i] = hypergraph.NodeID(i)
+	}
+	return out
+}

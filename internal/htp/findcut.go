@@ -1,0 +1,122 @@
+// Package htp implements the hierarchical tree partitioning algorithms of
+// Kuo & Cheng (DAC'97): the constructive network-flow algorithm FLOW
+// (Algorithm 1 = spreading-metric computation + metric-guided top-down
+// construction), the top-down builder with its Prim-style find_cut
+// (Algorithm 3), and the two DAC'96 baselines it is compared against —
+// GFM (bottom-up) and RFM (top-down with FM min-cut) — plus the FM-refined
+// "+" variants and a brute-force oracle for tiny instances.
+package htp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+	"repro/internal/pqueue"
+)
+
+// findCut separates a node set of size within [lb..ub] from h, growing a
+// region from a random seed in Prim order under the net lengths d (short
+// nets are absorbed first, so the growth frontier tends to follow long —
+// i.e. congested, cut-worthy — nets), and returning the visited prefix with
+// the minimum crossing capacity among those inside the window (procedure
+// find_cut of Algorithm 3).
+//
+// ub is a hard bound: no returned set exceeds it. If no prefix lands inside
+// the window (possible with lumpy node sizes), the largest prefix not
+// exceeding ub is returned. If the graph is disconnected the growth restarts
+// on a fresh component. d is indexed by net.
+func findCut(h *hypergraph.Hypergraph, d []float64, lb, ub int64, rng *rand.Rand) []hypergraph.NodeID {
+	n := h.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	in := make([]bool, n)
+	cnt := make([]int32, h.NumNets())
+	heap := pqueue.New(n)
+	order := make([]hypergraph.NodeID, 0, n)
+
+	var (
+		size    int64
+		cut     float64
+		bestCut = math.Inf(1)
+		bestLen = 0
+		lastLen = 0 // largest prefix with size <= ub (fallback)
+	)
+
+	add := func(v hypergraph.NodeID) {
+		in[v] = true
+		order = append(order, v)
+		size += h.NodeSize(v)
+		for _, e := range h.Incident(v) {
+			card := int32(len(h.Pins(e)))
+			before := cnt[e] > 0 && cnt[e] < card
+			cnt[e]++
+			after := cnt[e] > 0 && cnt[e] < card
+			if before != after {
+				if after {
+					cut += h.NetCapacity(e)
+				} else {
+					cut -= h.NetCapacity(e)
+				}
+			}
+			// Relax the frontier through this net.
+			for _, u := range h.Pins(e) {
+				if !in[u] {
+					heap.PushOrDecrease(int(u), d[e])
+				}
+			}
+		}
+	}
+
+	seed := hypergraph.NodeID(rng.Intn(n))
+	add(seed)
+	for size < ub {
+		var next hypergraph.NodeID
+		if heap.Len() > 0 {
+			vi, _ := heap.Pop()
+			if in[vi] {
+				continue
+			}
+			next = hypergraph.NodeID(vi)
+		} else {
+			// Disconnected: restart from any unvisited node.
+			next = hypergraph.NodeID(-1)
+			for v := 0; v < n; v++ {
+				if !in[v] {
+					next = hypergraph.NodeID(v)
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+		}
+		if size+h.NodeSize(next) > ub {
+			// Adding would overshoot the hard bound; skip this node and let
+			// the frontier offer alternatives. (With the heap popped the
+			// node may return via another net; that is fine — it stays out
+			// only if everything overshoots.)
+			if heap.Len() == 0 {
+				break
+			}
+			continue
+		}
+		add(next)
+		if size >= lb && size <= ub && cut < bestCut {
+			bestCut = cut
+			bestLen = len(order)
+		}
+		if size <= ub {
+			lastLen = len(order)
+		}
+	}
+	if bestLen == 0 {
+		bestLen = lastLen
+		if bestLen == 0 {
+			bestLen = 1 // at least the seed (a single node never exceeds ub
+			//             when node sizes respect C_0 <= ub)
+		}
+	}
+	return append([]hypergraph.NodeID(nil), order[:bestLen]...)
+}

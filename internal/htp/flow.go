@@ -1,0 +1,186 @@
+package htp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+	"repro/internal/inject"
+)
+
+// Result reports the outcome of a partitioning run.
+type Result struct {
+	Partition *hierarchy.Partition
+	Cost      float64
+	// Iterations actually executed (Algorithm 1's N, or FM passes etc.).
+	Iterations int
+	// MetricStats aggregates the flow-injection work over all iterations
+	// (FLOW only).
+	MetricStats inject.Stats
+}
+
+// FlowOptions tunes Algorithm 1.
+type FlowOptions struct {
+	// Iterations is the paper's N: metric + construction rounds, keeping
+	// the best result. Default 4.
+	Iterations int
+	// PartitionsPerMetric constructs several partitions from each computed
+	// metric (the paper's §5 suggestion — the metric dominates the run
+	// time, so extra constructions are nearly free). Default 1.
+	PartitionsPerMetric int
+	// Inject forwards options to the spreading-metric computation; its Rng
+	// is overridden by Seed-derived sources for reproducibility.
+	Inject inject.Options
+	// Build forwards options to the top-down construction.
+	Build BuildOptions
+	// Seed makes the whole run deterministic. Default 1.
+	Seed int64
+	// Parallel runs the N iterations on separate goroutines (each with its
+	// own derived seed, so results are identical to the sequential run).
+	// The iterations are embarrassingly parallel: each computes its own
+	// metric and partitions. Off by default.
+	Parallel bool
+}
+
+func (o FlowOptions) withDefaults() FlowOptions {
+	if o.Iterations == 0 {
+		o.Iterations = 4
+	}
+	if o.PartitionsPerMetric == 0 {
+		o.PartitionsPerMetric = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Flow runs Algorithm 1: N times, compute a spreading metric by stochastic
+// flow injection (Algorithm 2) and construct a hierarchical tree partition
+// from it (Algorithm 3); output the best valid partition found. With
+// opt.Parallel the iterations run concurrently and produce the same result
+// as the sequential schedule (per-iteration seeds are pre-drawn in order).
+func Flow(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	type iterSeeds struct {
+		inject int64
+		builds []int64
+	}
+	seeds := make([]iterSeeds, opt.Iterations)
+	for i := range seeds {
+		seeds[i].inject = rng.Int63()
+		seeds[i].builds = make([]int64, opt.PartitionsPerMetric)
+		for c := range seeds[i].builds {
+			seeds[i].builds[c] = rng.Int63()
+		}
+	}
+
+	type iterOut struct {
+		partition *hierarchy.Partition
+		cost      float64
+		stats     inject.Stats
+		injectErr error // fatal: bad spec / oversized nodes
+		buildErr  error // per-construction; other constructions may succeed
+	}
+	outs := make([]iterOut, opt.Iterations)
+
+	runIter := func(i int) {
+		out := &outs[i]
+		injOpt := opt.Inject
+		injOpt.Rng = rand.New(rand.NewSource(seeds[i].inject))
+		m, st, err := inject.ComputeMetric(h, spec, injOpt)
+		if err != nil {
+			out.injectErr = err
+			return
+		}
+		out.stats = st
+		for c := 0; c < opt.PartitionsPerMetric; c++ {
+			bOpt := opt.Build
+			bOpt.Rng = rand.New(rand.NewSource(seeds[i].builds[c]))
+			p, err := Build(h, spec, m.D, bOpt)
+			if err != nil {
+				if out.buildErr == nil {
+					out.buildErr = err
+				}
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				if out.buildErr == nil {
+					out.buildErr = fmt.Errorf("htp: constructed partition invalid: %w", err)
+				}
+				continue
+			}
+			if cost := p.Cost(); out.partition == nil || cost < out.cost {
+				out.partition, out.cost = p, cost
+			}
+		}
+	}
+
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < opt.Iterations; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runIter(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < opt.Iterations; i++ {
+			runIter(i)
+		}
+	}
+
+	best := &Result{Iterations: opt.Iterations}
+	var firstErr error
+	for i := range outs {
+		if err := outs[i].injectErr; err != nil {
+			return nil, err
+		}
+		if err := outs[i].buildErr; err != nil && firstErr == nil {
+			firstErr = err
+		}
+		st := outs[i].stats
+		best.MetricStats.Rounds += st.Rounds
+		best.MetricStats.Injections += st.Injections
+		best.MetricStats.TreeNets += st.TreeNets
+		best.MetricStats.Converged = st.Converged
+		if st.MaxFlow > best.MetricStats.MaxFlow {
+			best.MetricStats.MaxFlow = st.MaxFlow
+		}
+		if outs[i].partition != nil && (best.Partition == nil || outs[i].cost < best.Cost) {
+			best.Partition = outs[i].partition
+			best.Cost = outs[i].cost
+		}
+	}
+	if best.Partition == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("htp: no valid partition constructed")
+	}
+	return best, nil
+}
+
+// FlowPlus runs Flow and then the FM-based hierarchical refinement of [9]
+// (the paper's FLOW+). It returns the refined result plus the pre-refinement
+// cost for improvement reporting.
+func FlowPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	res, err := Flow(h, spec, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	initial := res.Cost
+	if ref.Rng == nil {
+		ref.Rng = rand.New(rand.NewSource(opt.withDefaults().Seed + 7))
+	}
+	cost, _ := fm.RefineHierarchical(res.Partition, ref)
+	res.Cost = cost
+	return res, initial, nil
+}

@@ -1,0 +1,421 @@
+package htp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// fourClusters builds `clusters` dense groups of `per` unit nodes, ring-
+// connected by single bridge nets — the canonical structure every HTP
+// algorithm should recover.
+func fourClusters(tb testing.TB, rng *rand.Rand, clusters, per int, density float64) *hypergraph.Hypergraph {
+	tb.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(clusters * per)
+	for c := 0; c < clusters; c++ {
+		base := c * per
+		for i := 0; i < per; i++ {
+			for j := i + 1; j < per; j++ {
+				if rng.Float64() < density {
+					b.AddNet("", 1, hypergraph.NodeID(base+i), hypergraph.NodeID(base+j))
+				}
+			}
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		b.AddNet("", 1, hypergraph.NodeID(c*per), hypergraph.NodeID(((c+1)%clusters)*per))
+	}
+	return b.MustBuild()
+}
+
+func binarySpec(tb testing.TB, h *hypergraph.Hypergraph, height int) hierarchy.Spec {
+	tb.Helper()
+	s, err := hierarchy.BinaryTreeSpec(h.TotalSize(), height, hierarchy.GeometricWeights(height, 2), 1.25)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// ---- findCut ----
+
+func TestFindCutSeparatesClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := fourClusters(t, rng, 2, 5, 1.0)
+	// Metric: intra-cluster nets short, bridges long.
+	d := make([]float64, h.NumNets())
+	for e := 0; e < h.NumNets(); e++ {
+		if len(h.Pins(hypergraph.NetID(e))) == 2 {
+			u, v := h.Pins(hypergraph.NetID(e))[0], h.Pins(hypergraph.NetID(e))[1]
+			if (u < 5) != (v < 5) {
+				d[e] = 10
+			} else {
+				d[e] = 0.1
+			}
+		}
+	}
+	piece := findCut(h, d, 5, 5, rng)
+	if len(piece) != 5 {
+		t.Fatalf("piece = %v", piece)
+	}
+	first := piece[0] < 5
+	for _, v := range piece {
+		if (v < 5) != first {
+			t.Fatalf("piece mixes clusters: %v", piece)
+		}
+	}
+}
+
+func TestFindCutRespectsHardUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := hypergraph.NewBuilder()
+	b.AddNode("", 3)
+	b.AddNode("", 3)
+	b.AddNode("", 3)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 1, 1, 2)
+	h := b.MustBuild()
+	d := []float64{1, 1}
+	for trial := 0; trial < 10; trial++ {
+		piece := findCut(h, d, 4, 5, rng)
+		var size int64
+		for _, v := range piece {
+			size += h.NodeSize(v)
+		}
+		// The window [4..5] is unreachable with size-3 lumps; the fallback
+		// is the largest prefix <= 5, i.e. one node.
+		if size > 5 {
+			t.Fatalf("piece size %d exceeds ub", size)
+		}
+		if size != 3 {
+			t.Fatalf("fallback piece size = %d, want 3", size)
+		}
+	}
+}
+
+func TestFindCutDisconnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(6)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 1, 2, 3)
+	b.AddNet("", 1, 4, 5)
+	h := b.MustBuild()
+	d := []float64{1, 1, 1}
+	piece := findCut(h, d, 4, 4, rng)
+	if len(piece) != 4 {
+		t.Fatalf("piece across components = %v", piece)
+	}
+}
+
+// ---- Build (Algorithm 3) ----
+
+func TestBuildProducesValidPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := fourClusters(t, rng, 4, 4, 0.9)
+	spec := binarySpec(t, h, 2)
+	d := make([]float64, h.NumNets())
+	for e := range d {
+		d[e] = rng.Float64()
+	}
+	p, err := Build(h, spec, d, BuildOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Tree.Level(p.Tree.Root()) != 2 {
+		t.Fatalf("root level = %d", p.Tree.Level(p.Tree.Root()))
+	}
+}
+
+func TestBuildSingleLeafWhenEverythingFits(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(3)
+	b.AddNet("", 1, 0, 1, 2)
+	h := b.MustBuild()
+	spec := hierarchy.Spec{Capacity: []int64{10}, Weight: []float64{1}, Branch: []int{2}}
+	p, err := Build(h, spec, []float64{0}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tree.NumVertices() != 1 || !p.Tree.IsLeaf(p.Tree.Root()) {
+		t.Fatalf("expected a single leaf, got %d vertices", p.Tree.NumVertices())
+	}
+	if p.Cost() != 0 {
+		t.Fatalf("cost = %g", p.Cost())
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(2)
+	b.AddNet("", 1, 0, 1)
+	h := b.MustBuild()
+	spec := hierarchy.Spec{Capacity: []int64{1, 2}, Weight: []float64{1, 1}, Branch: []int{2, 2}}
+	if _, err := Build(h, spec, []float64{1, 2}, BuildOptions{}); err == nil {
+		t.Fatal("length-count mismatch accepted")
+	}
+	big := hypergraph.NewBuilder()
+	big.AddNode("", 5)
+	big.AddNode("", 1)
+	big.AddNet("", 1, 0, 1)
+	hb := big.MustBuild()
+	if _, err := Build(hb, spec, []float64{1}, BuildOptions{}); err == nil {
+		t.Fatal("oversized node accepted")
+	}
+}
+
+func TestBuildFixedVsAdaptiveLB(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := fourClusters(t, rng, 4, 4, 0.8)
+	spec := binarySpec(t, h, 2)
+	d := make([]float64, h.NumNets())
+	for e := range d {
+		d[e] = rng.Float64()
+	}
+	for _, fixed := range []bool{false, true} {
+		p, err := Build(h, spec, d, BuildOptions{Rng: rand.New(rand.NewSource(17)), FixedLB: fixed})
+		if err != nil {
+			t.Fatalf("fixed=%v: %v", fixed, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("fixed=%v: %v", fixed, err)
+		}
+	}
+}
+
+// ---- Flow (Algorithm 1) ----
+
+func TestFlowRecoversClusterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	h := fourClusters(t, rng, 4, 4, 1.0)
+	spec := binarySpec(t, h, 2)
+	res, err := Flow(h, spec, FlowOptions{Iterations: 3, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Perfect recovery: each leaf is one clique; only the 4 ring bridges
+	// cross. Each bridge crosses level 0 (span 2) always, and two of them
+	// cross level 1: cost = 4·(1·2) + 2·(2·2) = 16. Allow some slack for the
+	// ring's two possible pairings but demand the clique structure (no
+	// intra-clique net may be cut, which would add +2 each).
+	if res.Cost > 16+1e-9 {
+		t.Fatalf("FLOW cost = %g, want <= 16 (perfect cluster recovery)", res.Cost)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	if !res.MetricStats.Converged {
+		t.Fatal("metric did not converge")
+	}
+}
+
+func TestFlowDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	h := fourClusters(t, rng, 3, 4, 0.8)
+	spec := binarySpec(t, h, 2)
+	r1, err := Flow(h, spec, FlowOptions{Iterations: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Flow(h, spec, FlowOptions{Iterations: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost {
+		t.Fatalf("same seed, different costs: %g vs %g", r1.Cost, r2.Cost)
+	}
+	for v := range r1.Partition.LeafOf {
+		if r1.Partition.LeafOf[v] != r2.Partition.LeafOf[v] {
+			t.Fatal("same seed, different assignments")
+		}
+	}
+}
+
+func TestFlowPartitionsPerMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	h := fourClusters(t, rng, 4, 4, 0.7)
+	spec := binarySpec(t, h, 2)
+	r1, err := Flow(h, spec, FlowOptions{Iterations: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Flow(h, spec, FlowOptions{Iterations: 1, PartitionsPerMetric: 8, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Cost > r1.Cost+1e-9 {
+		t.Fatalf("more constructions worsened the best: %g vs %g", r8.Cost, r1.Cost)
+	}
+}
+
+// ---- Baselines ----
+
+func TestRFMProducesValidPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	h := fourClusters(t, rng, 4, 4, 0.9)
+	spec := binarySpec(t, h, 2)
+	res, err := RFM(h, spec, RFMOptions{Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Fatalf("cost = %g; the ring bridges must cost something", res.Cost)
+	}
+}
+
+func TestGFMProducesValidPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	h := fourClusters(t, rng, 4, 4, 0.9)
+	spec := binarySpec(t, h, 2)
+	res, err := GFM(h, spec, GFMOptions{Seed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFMSingleLevel(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(4)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 1, 2, 3)
+	b.AddNet("", 1, 1, 2)
+	h := b.MustBuild()
+	spec := hierarchy.Spec{Capacity: []int64{2}, Weight: []float64{1}, Branch: []int{2}}
+	res, err := GFM(h, spec, GFMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal groups {0,1},{2,3}: only the middle net is cut => cost 2.
+	if res.Cost != 2 {
+		t.Fatalf("cost = %g, want 2", res.Cost)
+	}
+}
+
+// ---- "+" variants ----
+
+func TestPlusVariantsNeverWorsen(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	h := fourClusters(t, rng, 4, 5, 0.6)
+	spec := binarySpec(t, h, 2)
+
+	fres, finit, err := FlowPlus(h, spec, FlowOptions{Iterations: 2, Seed: 67}, fm.RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Cost > finit+1e-9 {
+		t.Fatalf("FLOW+ worsened: %g -> %g", finit, fres.Cost)
+	}
+	if err := fres.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rres, rinit, err := RFMPlus(h, spec, RFMOptions{Seed: 71}, fm.RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Cost > rinit+1e-9 {
+		t.Fatalf("RFM+ worsened: %g -> %g", rinit, rres.Cost)
+	}
+
+	gres, ginit, err := GFMPlus(h, spec, GFMOptions{Seed: 73}, fm.RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Cost > ginit+1e-9 {
+		t.Fatalf("GFM+ worsened: %g -> %g", ginit, gres.Cost)
+	}
+}
+
+// ---- brute force oracle ----
+
+func TestBruteForceTinyChain(t *testing.T) {
+	// 4-node chain, C = (2,4): optimal split {0,1}|{2,3} cuts one net at
+	// level 0 under a level-1 root: cost = w0·2·1 = 2.
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(4)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 1, 1, 2)
+	b.AddNet("", 1, 2, 3)
+	h := b.MustBuild()
+	spec := hierarchy.Spec{Capacity: []int64{2}, Weight: []float64{1}, Branch: []int{2}}
+	p, cost, err := BruteForce(h, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Fatalf("optimal cost = %g, want 2", cost)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Cost()-cost) > 1e-12 {
+		t.Fatal("returned partition does not realize reported cost")
+	}
+}
+
+func TestHeuristicsNeverBeatBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 8; trial++ {
+		n := 6
+		b := hypergraph.NewBuilder()
+		b.AddUnitNodes(n)
+		for e := 0; e < 8; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddNet("", float64(1+rng.Intn(2)), hypergraph.NodeID(u), hypergraph.NodeID(v))
+			}
+		}
+		h := b.MustBuild()
+		spec := hierarchy.Spec{Capacity: []int64{2, 4}, Weight: []float64{1, 2}, Branch: []int{2, 2}}
+		_, opt, err := BruteForce(h, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, cost float64, err error) {
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if cost < opt-1e-9 {
+				t.Fatalf("trial %d: %s cost %g beats optimum %g", trial, name, cost, opt)
+			}
+		}
+		fr, err := Flow(h, spec, FlowOptions{Iterations: 3, Seed: int64(trial + 1)})
+		check("FLOW", fr.Cost, err)
+		rr, err := RFM(h, spec, RFMOptions{Seed: int64(trial + 1)})
+		check("RFM", rr.Cost, err)
+		gr, err := GFM(h, spec, GFMOptions{Seed: int64(trial + 1)})
+		check("GFM", gr.Cost, err)
+	}
+}
+
+func BenchmarkFlowSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := fourClusters(b, rng, 4, 8, 0.5)
+	spec := binarySpec(b, h, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Flow(h, spec, FlowOptions{Iterations: 1, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

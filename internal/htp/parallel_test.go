@@ -1,0 +1,51 @@
+package htp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// TestParallelFlowMatchesSequential: the parallel schedule pre-draws the
+// same per-iteration seeds, so results are bit-identical.
+func TestParallelFlowMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	h := fourClusters(t, rng, 4, 5, 0.7)
+	spec := binarySpec(t, h, 2)
+	seq, err := Flow(h, spec, FlowOptions{Iterations: 4, PartitionsPerMetric: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Flow(h, spec, FlowOptions{Iterations: 4, PartitionsPerMetric: 2, Seed: 99, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cost != par.Cost {
+		t.Fatalf("parallel cost %g != sequential %g", par.Cost, seq.Cost)
+	}
+	for v := range seq.Partition.LeafOf {
+		if seq.Partition.LeafOf[v] != par.Partition.LeafOf[v] {
+			t.Fatal("parallel and sequential assignments differ")
+		}
+	}
+	if seq.MetricStats.Injections != par.MetricStats.Injections {
+		t.Fatalf("stats differ: %d vs %d injections",
+			seq.MetricStats.Injections, par.MetricStats.Injections)
+	}
+}
+
+func TestParallelFlowPropagatesFatalErrors(t *testing.T) {
+	// An oversized node makes the metric computation fail in every
+	// iteration; the error must surface, not be swallowed.
+	b := hypergraph.NewBuilder()
+	b.AddNode("big", 5)
+	b.AddNode("", 1)
+	b.AddNet("", 1, 0, 1)
+	h := b.MustBuild()
+	spec := hierarchy.Spec{Capacity: []int64{2, 6}, Weight: []float64{1, 1}, Branch: []int{2, 2}}
+	if _, err := Flow(h, spec, FlowOptions{Iterations: 3, Parallel: true}); err == nil {
+		t.Fatal("expected error for oversized node")
+	}
+}

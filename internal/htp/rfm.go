@@ -1,0 +1,99 @@
+package htp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// RFMOptions tunes the RFM baseline.
+type RFMOptions struct {
+	// Seed drives every random choice. Default 1.
+	Seed int64
+	// FM forwards options to the bipartition refinement inside each cut.
+	FM fm.BiOptions
+	// FixedLB mirrors BuildOptions.FixedLB.
+	FixedLB bool
+}
+
+// RFM is the top-down recursive baseline of Kuo, Liu & Cheng (DAC'96): the
+// same construction skeleton as Algorithm 3, but each separation is found by
+// a direct FM min-cut on the current sub-hypergraph instead of the
+// spreading-metric Prim growth. It greedily optimizes the cut at each level
+// without the global (all-levels) view the metric provides — exactly the
+// contrast the paper draws in §4.
+func RFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions) (*Result, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	engine := func(sub *hypergraph.Hypergraph, _ []float64, lb, ub int64, rng *rand.Rand) []hypergraph.NodeID {
+		return fmCarve(sub, lb, ub, opt.FM, rng)
+	}
+	d := make([]float64, h.NumNets()) // unused by the FM engine
+	p, err := Build(h, spec, d, BuildOptions{
+		Rng:           rng,
+		FixedLB:       opt.FixedLB,
+		Engine:        engine,
+		CarveAttempts: 1, // the FM engine is already a full local search
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("htp: RFM partition invalid: %w", err)
+	}
+	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1}, nil
+}
+
+// RFMPlus is RFM followed by the hierarchical FM refinement (RFM+).
+func RFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	res, err := RFM(h, spec, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	initial := res.Cost
+	if ref.Rng == nil {
+		ref.Rng = rand.New(rand.NewSource(opt.Seed + 7))
+	}
+	cost, _ := fm.RefineHierarchical(res.Partition, ref)
+	res.Cost = cost
+	return res, initial, nil
+}
+
+// fmCarve separates a node set of size within [lb..ub] by seeding a region,
+// growing it to the window's midpoint, and FM-refining the bipartition under
+// the window. Returns side-A node IDs of sub.
+func fmCarve(sub *hypergraph.Hypergraph, lb, ub int64, opt fm.BiOptions, rng *rand.Rand) []hypergraph.NodeID {
+	seed := hypergraph.NodeID(rng.Intn(sub.NumNodes()))
+	target := (lb + ub) / 2
+	if target < 1 {
+		target = 1
+	}
+	inA := fm.GrowSeedSide(sub, seed, target)
+	fmOpt := opt
+	if fmOpt.Rng == nil {
+		fmOpt.Rng = rng
+	}
+	fm.RefineBipartition(sub, inA, lb, ub, fmOpt)
+	var piece []hypergraph.NodeID
+	var size int64
+	for v := 0; v < sub.NumNodes(); v++ {
+		if inA[v] {
+			piece = append(piece, hypergraph.NodeID(v))
+			size += sub.NodeSize(hypergraph.NodeID(v))
+		}
+	}
+	// Enforce the hard upper bound: if the grow-refine left the side heavy
+	// (possible when refinement could not move anything), shed the
+	// last-added nodes.
+	for size > ub && len(piece) > 1 {
+		v := piece[len(piece)-1]
+		piece = piece[:len(piece)-1]
+		size -= sub.NodeSize(v)
+	}
+	return piece
+}

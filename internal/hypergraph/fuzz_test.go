@@ -1,0 +1,42 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom hardens the netlist parser: arbitrary input must either
+// return an error or produce a hypergraph that validates and round-trips.
+func FuzzReadFrom(f *testing.F) {
+	f.Add("2 4\n1 2 3\n3 4\n")
+	f.Add("2 3 11\n2.0 1 2\n1 2 3\n5\n1\n7\n")
+	f.Add("1 2 1\n0.5 1 2\n")
+	f.Add("% comment\n\n1 2\n1 2\n")
+	f.Add("0 0\n")
+	f.Add("1 2\n1 1\n")  // duplicate pin
+	f.Add("1 2\n1\n")    // short net
+	f.Add("999999 2\n")  // truncated
+	f.Add("2 2 10\n1 2\n1 2\n-3\n1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := ReadFrom(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("parsed hypergraph fails validation: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := h.Write(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		h2, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", err, buf.String())
+		}
+		if h2.NumNodes() != h.NumNodes() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatalf("round trip changed shape: (%d,%d,%d) -> (%d,%d,%d)",
+				h.NumNodes(), h.NumNets(), h.NumPins(), h2.NumNodes(), h2.NumNets(), h2.NumPins())
+		}
+	})
+}

@@ -1,0 +1,368 @@
+// Package hypergraph models circuit netlists as hypergraphs: nodes (cells)
+// with sizes and nets (hyperedges) with capacities, connected by pins. It is
+// the input representation for every partitioning algorithm in this module
+// and provides the structural operations they need — induced subgraphs,
+// connected components, cluster contraction, graph expansions, statistics,
+// and a simple hMETIS-style text format.
+//
+// Terminology follows Kuo & Cheng (DAC'97): a hypergraph H = (V, E) has
+// |V| = n nodes, |E| = m nets, and p total pins; node v has size s(v) and
+// net e has capacity c(e).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (cell). IDs are dense: 0..NumNodes-1.
+type NodeID int32
+
+// NetID identifies a net (hyperedge). IDs are dense: 0..NumNets-1.
+type NetID int32
+
+// Hypergraph is an immutable-after-build netlist. Construct one with a
+// Builder; the zero value is an empty hypergraph.
+type Hypergraph struct {
+	nodeNames []string
+	nodeSizes []int64
+	netNames  []string
+	netCaps   []float64
+	pins      [][]NodeID // pins[e] = nodes on net e
+	incident  [][]NetID  // incident[v] = nets containing v
+	pinCount  int
+	totalSize int64
+}
+
+// NumNodes reports n, the number of nodes.
+func (h *Hypergraph) NumNodes() int { return len(h.nodeSizes) }
+
+// NumNets reports m, the number of nets.
+func (h *Hypergraph) NumNets() int { return len(h.pins) }
+
+// NumPins reports p, the total number of pins (sum of net cardinalities).
+func (h *Hypergraph) NumPins() int { return h.pinCount }
+
+// NodeSize returns s(v).
+func (h *Hypergraph) NodeSize(v NodeID) int64 { return h.nodeSizes[v] }
+
+// TotalSize returns s(V), the sum of all node sizes.
+func (h *Hypergraph) TotalSize() int64 { return h.totalSize }
+
+// NetCapacity returns c(e).
+func (h *Hypergraph) NetCapacity(e NetID) float64 { return h.netCaps[e] }
+
+// NodeName returns the name of v ("" if unnamed).
+func (h *Hypergraph) NodeName(v NodeID) string { return h.nodeNames[v] }
+
+// NetName returns the name of e ("" if unnamed).
+func (h *Hypergraph) NetName(e NetID) string { return h.netNames[e] }
+
+// Pins returns the nodes on net e. The slice is owned by the hypergraph and
+// must not be modified.
+func (h *Hypergraph) Pins(e NetID) []NodeID { return h.pins[e] }
+
+// Incident returns the nets containing node v. The slice is owned by the
+// hypergraph and must not be modified.
+func (h *Hypergraph) Incident(v NodeID) []NetID { return h.incident[v] }
+
+// Degree returns the number of nets incident to v.
+func (h *Hypergraph) Degree(v NodeID) int { return len(h.incident[v]) }
+
+// SizeOf returns the total size of a set of nodes, s(V').
+func (h *Hypergraph) SizeOf(nodes []NodeID) int64 {
+	var s int64
+	for _, v := range nodes {
+		s += h.nodeSizes[v]
+	}
+	return s
+}
+
+// Validate checks internal consistency and the structural rules of a
+// netlist hypergraph: every pin references a valid node, nets have
+// cardinality >= 2 (per the paper's definition |e| >= 2), no net lists the
+// same node twice, sizes are positive and capacities non-negative, and the
+// node->net incidence agrees with the net->node pin lists.
+func (h *Hypergraph) Validate() error {
+	n, m := h.NumNodes(), h.NumNets()
+	for v := 0; v < n; v++ {
+		if h.nodeSizes[v] <= 0 {
+			return fmt.Errorf("hypergraph: node %d has non-positive size %d", v, h.nodeSizes[v])
+		}
+	}
+	pinTotal := 0
+	for e := 0; e < m; e++ {
+		ps := h.pins[e]
+		if len(ps) < 2 {
+			return fmt.Errorf("hypergraph: net %d has cardinality %d < 2", e, len(ps))
+		}
+		if h.netCaps[e] < 0 {
+			return fmt.Errorf("hypergraph: net %d has negative capacity %g", e, h.netCaps[e])
+		}
+		seen := make(map[NodeID]bool, len(ps))
+		for _, v := range ps {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("hypergraph: net %d pin references node %d out of range", e, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("hypergraph: net %d lists node %d twice", e, v)
+			}
+			seen[v] = true
+		}
+		pinTotal += len(ps)
+	}
+	if pinTotal != h.pinCount {
+		return fmt.Errorf("hypergraph: pin count %d does not match pin lists (%d)", h.pinCount, pinTotal)
+	}
+	// Cross-check incidence.
+	count := make([]int, n)
+	for e := 0; e < m; e++ {
+		for _, v := range h.pins[e] {
+			count[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if count[v] != len(h.incident[v]) {
+			return fmt.Errorf("hypergraph: node %d incidence length %d, expected %d",
+				v, len(h.incident[v]), count[v])
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := &Hypergraph{
+		nodeNames: append([]string(nil), h.nodeNames...),
+		nodeSizes: append([]int64(nil), h.nodeSizes...),
+		netNames:  append([]string(nil), h.netNames...),
+		netCaps:   append([]float64(nil), h.netCaps...),
+		pins:      make([][]NodeID, len(h.pins)),
+		incident:  make([][]NetID, len(h.incident)),
+		pinCount:  h.pinCount,
+		totalSize: h.totalSize,
+	}
+	for i, p := range h.pins {
+		c.pins[i] = append([]NodeID(nil), p...)
+	}
+	for i, inc := range h.incident {
+		c.incident[i] = append([]NetID(nil), inc...)
+	}
+	return c
+}
+
+// Builder accumulates nodes and nets and produces a validated Hypergraph.
+type Builder struct {
+	nodeNames []string
+	nodeSizes []int64
+	netNames  []string
+	netCaps   []float64
+	pins      [][]NodeID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddNode appends a node with the given name and size and returns its ID.
+// Size must be positive.
+func (b *Builder) AddNode(name string, size int64) NodeID {
+	if size <= 0 {
+		panic("hypergraph: node size must be positive")
+	}
+	id := NodeID(len(b.nodeSizes))
+	b.nodeNames = append(b.nodeNames, name)
+	b.nodeSizes = append(b.nodeSizes, size)
+	return id
+}
+
+// AddUnitNodes appends count unnamed nodes of size 1 and returns the ID of
+// the first.
+func (b *Builder) AddUnitNodes(count int) NodeID {
+	first := NodeID(len(b.nodeSizes))
+	for i := 0; i < count; i++ {
+		b.AddNode("", 1)
+	}
+	return first
+}
+
+// AddNet appends a net with the given name, capacity, and pins and returns
+// its ID. Nets with fewer than 2 distinct pins are rejected at Build time;
+// duplicate pins within a net are rejected here.
+func (b *Builder) AddNet(name string, capacity float64, pins ...NodeID) NetID {
+	id := NetID(len(b.pins))
+	b.netNames = append(b.netNames, name)
+	b.netCaps = append(b.netCaps, capacity)
+	b.pins = append(b.pins, append([]NodeID(nil), pins...))
+	return id
+}
+
+// NumNodes reports the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodeSizes) }
+
+// Build finalizes the hypergraph, computing incidence lists, and validates
+// it.
+func (b *Builder) Build() (*Hypergraph, error) {
+	h := &Hypergraph{
+		nodeNames: b.nodeNames,
+		nodeSizes: b.nodeSizes,
+		netNames:  b.netNames,
+		netCaps:   b.netCaps,
+		pins:      b.pins,
+		incident:  make([][]NetID, len(b.nodeSizes)),
+	}
+	for e, ps := range h.pins {
+		h.pinCount += len(ps)
+		for _, v := range ps {
+			if v < 0 || int(v) >= len(h.incident) {
+				return nil, fmt.Errorf("hypergraph: net %d references node %d out of range", e, v)
+			}
+			h.incident[v] = append(h.incident[v], NetID(e))
+		}
+	}
+	for _, s := range h.nodeSizes {
+		h.totalSize += s
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and literals.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Components returns the connected components of the hypergraph (nodes
+// connected through shared nets), each sorted ascending, ordered by smallest
+// member.
+func (h *Hypergraph) Components() [][]NodeID {
+	n := h.NumNodes()
+	seen := make([]bool, n)
+	netSeen := make([]bool, h.NumNets())
+	var comps [][]NodeID
+	stack := make([]NodeID, 0, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], NodeID(s))
+		var comp []NodeID
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, e := range h.incident[v] {
+				if netSeen[e] {
+					continue
+				}
+				netSeen[e] = true
+				for _, u := range h.pins[e] {
+					if !seen[u] {
+						seen[u] = true
+						stack = append(stack, u)
+					}
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraph returns the subhypergraph induced by the given node set:
+// the nodes keep their sizes and names; each net is restricted to its pins
+// inside the set and kept only if at least 2 pins remain. It also returns
+// the mapping from new node IDs to original node IDs and from new net IDs to
+// original net IDs.
+func (h *Hypergraph) InducedSubgraph(nodes []NodeID) (sub *Hypergraph, nodeMap []NodeID, netMap []NetID) {
+	inv := make(map[NodeID]NodeID, len(nodes))
+	b := NewBuilder()
+	nodeMap = make([]NodeID, 0, len(nodes))
+	for _, v := range nodes {
+		if _, dup := inv[v]; dup {
+			panic("hypergraph: duplicate node in InducedSubgraph")
+		}
+		inv[v] = b.AddNode(h.nodeNames[v], h.nodeSizes[v])
+		nodeMap = append(nodeMap, v)
+	}
+	// Visit each candidate net once, in ascending net ID order.
+	netSeen := make(map[NetID]bool)
+	var cand []NetID
+	for _, v := range nodes {
+		for _, e := range h.incident[v] {
+			if !netSeen[e] {
+				netSeen[e] = true
+				cand = append(cand, e)
+			}
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	for _, e := range cand {
+		var inside []NodeID
+		for _, u := range h.pins[e] {
+			if nu, ok := inv[u]; ok {
+				inside = append(inside, nu)
+			}
+		}
+		if len(inside) >= 2 {
+			b.AddNet(h.netNames[e], h.netCaps[e], inside...)
+			netMap = append(netMap, e)
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		panic(err) // induced subgraphs of valid hypergraphs are valid
+	}
+	return sub, nodeMap, netMap
+}
+
+// Contract collapses clusters of nodes into single nodes. clusterOf[v] gives
+// the cluster index of node v; cluster indices must be dense 0..k-1. The
+// contracted node's size is the sum of member sizes. Each net maps to the
+// set of distinct clusters it touches; nets touching fewer than 2 clusters
+// disappear. Parallel nets between the same cluster sets are retained
+// (capacities are not merged), matching netlist semantics.
+func (h *Hypergraph) Contract(clusterOf []int, k int) (*Hypergraph, error) {
+	if len(clusterOf) != h.NumNodes() {
+		return nil, fmt.Errorf("hypergraph: clusterOf has %d entries, want %d", len(clusterOf), h.NumNodes())
+	}
+	sizes := make([]int64, k)
+	for v, c := range clusterOf {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("hypergraph: node %d has cluster %d out of range [0,%d)", v, c, k)
+		}
+		sizes[c] += h.nodeSizes[v]
+	}
+	b := NewBuilder()
+	for c := 0; c < k; c++ {
+		if sizes[c] == 0 {
+			return nil, fmt.Errorf("hypergraph: cluster %d is empty", c)
+		}
+		b.AddNode(fmt.Sprintf("cluster%d", c), sizes[c])
+	}
+	mark := make([]bool, k)
+	for e := 0; e < h.NumNets(); e++ {
+		var touched []NodeID
+		for _, v := range h.pins[e] {
+			c := clusterOf[v]
+			if !mark[c] {
+				mark[c] = true
+				touched = append(touched, NodeID(c))
+			}
+		}
+		for _, c := range touched {
+			mark[c] = false
+		}
+		if len(touched) >= 2 {
+			b.AddNet(h.netNames[e], h.netCaps[e], touched...)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,128 @@
+package maxflow
+
+import "repro/internal/hypergraph"
+
+// HyperCut computes a minimum-capacity net cut separating the source node
+// set from the sink node set in a hypergraph, using the standard net-
+// splitting construction: each net e becomes a pair of auxiliary vertices
+// joined by an arc of capacity c(e); pins connect to the pair with infinite
+// arcs in both directions. Cutting the model's finite arc corresponds
+// exactly to cutting the net.
+//
+// It returns the cut capacity and the source-side membership of the original
+// nodes.
+func HyperCut(h *hypergraph.Hypergraph, sources, sinks []hypergraph.NodeID) (capacity float64, sourceSide []bool) {
+	n := h.NumNodes()
+	m := h.NumNets()
+	// Layout: [0..n) original nodes, [n..n+m) net-in, [n+m..n+2m) net-out,
+	// n+2m = super source, n+2m+1 = super sink.
+	s := n + 2*m
+	t := s + 1
+	nw := NewNetwork(t + 1)
+	for e := 0; e < m; e++ {
+		in, out := n+e, n+m+e
+		nw.AddArc(in, out, h.NetCapacity(hypergraph.NetID(e)))
+		for _, v := range h.Pins(hypergraph.NetID(e)) {
+			nw.AddArc(int(v), in, Inf)
+			nw.AddArc(out, int(v), Inf)
+		}
+	}
+	for _, v := range sources {
+		nw.AddArc(s, int(v), Inf)
+	}
+	for _, v := range sinks {
+		nw.AddArc(int(v), t, Inf)
+	}
+	capacity = nw.MaxFlow(s, t)
+	side := nw.MinCutSide(s)
+	sourceSide = make([]bool, n)
+	copy(sourceSide, side[:n])
+	return capacity, sourceSide
+}
+
+// BalancedBipartition finds a bipartition (A, B) of the hypergraph with
+// s(A) within [lb..ub], trying to minimize the capacity of nets crossing the
+// cut, in the manner of flow-based balanced bipartitioning (FBB): repeated
+// max-flow min-cut computations, collapsing nodes into the source or sink
+// side whenever the cut is out of balance. seedA and seedB anchor the two
+// sides and always end up separated.
+//
+// It returns the membership of side A. The hypergraph must have at least two
+// nodes; if the balance window is infeasible the closest achievable cut is
+// returned.
+func BalancedBipartition(h *hypergraph.Hypergraph, seedA, seedB hypergraph.NodeID, lb, ub int64) []bool {
+	fixedA := map[hypergraph.NodeID]bool{seedA: true}
+	fixedB := map[hypergraph.NodeID]bool{seedB: true}
+	n := h.NumNodes()
+	for iter := 0; iter < n; iter++ {
+		srcs := keys(fixedA)
+		snks := keys(fixedB)
+		_, side := HyperCut(h, srcs, snks)
+		var sizeA int64
+		for v := 0; v < n; v++ {
+			if side[v] {
+				sizeA += h.NodeSize(hypergraph.NodeID(v))
+			}
+		}
+		switch {
+		case sizeA < lb:
+			// Source side too small: absorb a boundary node from B into A.
+			v, ok := pickAdjacent(h, side, false, seedB)
+			if !ok {
+				return side
+			}
+			fixedA[v] = true
+			delete(fixedB, v)
+		case sizeA > ub:
+			// Source side too big: pin a boundary node from A to B.
+			v, ok := pickAdjacent(h, side, true, seedA)
+			if !ok {
+				return side
+			}
+			fixedB[v] = true
+			delete(fixedA, v)
+		default:
+			return side
+		}
+	}
+	_, side := HyperCut(h, keys(fixedA), keys(fixedB))
+	return side
+}
+
+// pickAdjacent returns a node with sourceSide[v] == wantSide, preferring
+// pins of cut nets (the cut boundary) and never returning forbidden. It
+// falls back to any eligible node when no net crosses the cut.
+func pickAdjacent(h *hypergraph.Hypergraph, sourceSide []bool, wantSide bool, forbidden hypergraph.NodeID) (hypergraph.NodeID, bool) {
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(hypergraph.NetID(e))
+		var sawA, sawB bool
+		for _, v := range pins {
+			if sourceSide[v] {
+				sawA = true
+			} else {
+				sawB = true
+			}
+		}
+		if sawA && sawB {
+			for _, v := range pins {
+				if sourceSide[v] == wantSide && v != forbidden {
+					return v, true
+				}
+			}
+		}
+	}
+	for v := 0; v < h.NumNodes(); v++ {
+		if sourceSide[v] == wantSide && hypergraph.NodeID(v) != forbidden {
+			return hypergraph.NodeID(v), true
+		}
+	}
+	return 0, false
+}
+
+func keys(m map[hypergraph.NodeID]bool) []hypergraph.NodeID {
+	out := make([]hypergraph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return out
+}

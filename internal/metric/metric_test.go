@@ -1,0 +1,190 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+	"repro/internal/shortest"
+)
+
+func chainGraph(t *testing.T, n int) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddNet("", 1, hypergraph.NodeID(i), hypergraph.NodeID(i+1))
+	}
+	return b.MustBuild()
+}
+
+func TestValue(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(3)
+	b.AddNet("", 2, 0, 1)
+	b.AddNet("", 3, 1, 2)
+	h := b.MustBuild()
+	m := New(h)
+	m.D[0] = 1.5
+	m.D[1] = 0.5
+	if got := m.Value(); math.Abs(got-(2*1.5+3*0.5)) > 1e-12 {
+		t.Fatalf("Value = %g", got)
+	}
+}
+
+func TestZeroMetricViolatedWhenGraphTooBig(t *testing.T) {
+	h := chainGraph(t, 6)
+	spec := hierarchy.Spec{Capacity: []int64{2, 6}, Weight: []float64{1, 1}, Branch: []int{2, 3}}
+	m := New(h) // all-zero lengths cannot spread 6 > C_0 = 2 nodes
+	bad := Check(m, spec)
+	if bad == nil {
+		t.Fatal("zero metric accepted")
+	}
+	if bad.LHS != 0 || bad.Bound <= 0 {
+		t.Fatalf("violation = %+v", bad)
+	}
+	if bad.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+func TestUniformMetricFeasibleWhenLongEnough(t *testing.T) {
+	h := chainGraph(t, 4)
+	spec := hierarchy.Spec{Capacity: []int64{1, 4}, Weight: []float64{1, 1}, Branch: []int{2, 4}}
+	// The binding constraint is k=2 from any root: the closest node sits at
+	// distance d and g(2) = 2(2-1)·1 = 2, so feasibility needs d >= 2.
+	// (Larger k are looser: e.g. from an end node k=4 gives 6d >= g(4) = 6.)
+	m := New(h)
+	for e := range m.D {
+		m.D[e] = 2.0
+	}
+	if bad := Check(m, spec); bad != nil {
+		t.Fatalf("length-2 chain rejected: %v", bad)
+	}
+	for e := range m.D {
+		m.D[e] = 1.9
+	}
+	if bad := Check(m, spec); bad == nil {
+		t.Fatal("length-1.9 chain accepted; the k=2 constraint should fail")
+	}
+}
+
+func TestCheckFromReportsFirstViolation(t *testing.T) {
+	h := chainGraph(t, 5)
+	spec := hierarchy.Spec{Capacity: []int64{1, 5}, Weight: []float64{1, 1}, Branch: []int{2, 5}}
+	m := New(h)
+	spt := shortest.NewHyperSPT(h)
+	bad := CheckFrom(m, spec, spt, 0)
+	if bad == nil {
+		t.Fatal("no violation found")
+	}
+	if bad.Root != 0 || bad.K != 2 || bad.Size != 2 {
+		t.Fatalf("violation = %+v, want first at k=2", bad)
+	}
+}
+
+// makePartitionedInstance returns a random hypergraph, a feasible binary
+// partition of it, and the spec — used by the Lemma 1 property tests.
+func makePartitionedInstance(rng *rand.Rand) *hierarchy.Partition {
+	n := 8 + rng.Intn(12)
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(n)
+	m := n + rng.Intn(2*n)
+	for e := 0; e < m; e++ {
+		card := 2 + rng.Intn(3)
+		if card > n {
+			card = n
+		}
+		perm := rng.Perm(n)[:card]
+		pins := make([]hypergraph.NodeID, card)
+		for i, p := range perm {
+			pins[i] = hypergraph.NodeID(p)
+		}
+		b.AddNet("", float64(1+rng.Intn(3)), pins...)
+	}
+	h := b.MustBuild()
+	// Height-2 binary tree with generous capacities: C_0 = ceil(n/4)+1,
+	// C_1 = ceil(n/2)+1.
+	c0 := int64(n)/4 + 1
+	c1 := int64(n)/2 + 1
+	spec := hierarchy.Spec{
+		Capacity: []int64{c0, c1},
+		Weight:   []float64{1, 2},
+		Branch:   []int{2, 2},
+	}
+	tr := hierarchy.NewTree(2)
+	p1, p2 := tr.AddChild(0), tr.AddChild(0)
+	leaves := []int{tr.AddChild(p1), tr.AddChild(p1), tr.AddChild(p2), tr.AddChild(p2)}
+	p := hierarchy.NewPartition(h, spec, tr)
+	for v := 0; v < n; v++ {
+		p.Assign(hypergraph.NodeID(v), leaves[v%4])
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestLemma1ValueEqualsCost: the induced metric's LP value equals the
+// partition's interconnection cost.
+func TestLemma1ValueEqualsCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		p := makePartitionedInstance(rng)
+		m := FromPartition(p)
+		if math.Abs(m.Value()-p.Cost()) > 1e-9 {
+			t.Fatalf("trial %d: metric value %g != cost %g", trial, m.Value(), p.Cost())
+		}
+	}
+}
+
+// TestLemma1InducedMetricIsFeasible: the induced metric satisfies every
+// spreading constraint.
+func TestLemma1InducedMetricIsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		p := makePartitionedInstance(rng)
+		m := FromPartition(p)
+		if bad := Check(m, p.Spec); bad != nil {
+			t.Fatalf("trial %d: induced metric infeasible: %v", trial, bad)
+		}
+	}
+}
+
+func TestFromPartitionHandExample(t *testing.T) {
+	// Two leaves under a root at level 1: a 2-pin net across them has
+	// cost = w_0·2·c and d = cost/c = 2·w_0.
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(2)
+	b.AddNet("", 3, 0, 1)
+	h := b.MustBuild()
+	spec := hierarchy.Spec{Capacity: []int64{1}, Weight: []float64{1.5}, Branch: []int{2}}
+	tr := hierarchy.NewTree(1)
+	l0, l1 := tr.AddChild(0), tr.AddChild(0)
+	p := hierarchy.NewPartition(h, spec, tr)
+	p.Assign(0, l0)
+	p.Assign(1, l1)
+	m := FromPartition(p)
+	if math.Abs(m.D[0]-3.0) > 1e-12 { // 1.5 * 2
+		t.Fatalf("d = %g, want 3", m.D[0])
+	}
+	if math.Abs(m.Value()-9.0) > 1e-12 { // c*d = 3*3
+		t.Fatalf("value = %g, want 9", m.Value())
+	}
+	if math.Abs(p.Cost()-m.Value()) > 1e-12 {
+		t.Fatal("Lemma 1 value equality fails on hand example")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := chainGraph(t, 3)
+	m := New(h)
+	m.D[0] = 1
+	c := m.Clone()
+	c.D[0] = 9
+	if m.D[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+}

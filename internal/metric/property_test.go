@@ -1,0 +1,117 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// TestScalingFeasibility_Quick: if a metric is feasible, scaling every
+// length by λ >= 1 keeps it feasible (distances scale linearly while g is
+// unchanged), and Value scales exactly by λ.
+func TestScalingFeasibility_Quick(t *testing.T) {
+	f := func(seed int64, lambdaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := makePartitionedInstance(rng)
+		m := FromPartition(p)
+		lambda := 1 + float64(lambdaRaw)/32 // in [1, ~9]
+		scaled := m.Clone()
+		for e := range scaled.D {
+			scaled.D[e] *= lambda
+		}
+		if Check(scaled, p.Spec) != nil {
+			return false
+		}
+		return math.Abs(scaled.Value()-lambda*m.Value()) < 1e-6*(1+m.Value())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkingBreaksTightMetrics_Quick: shrinking a feasible metric by a
+// large factor violates feasibility whenever the instance has any binding
+// constraint (g > 0 somewhere), i.e. whenever the partition has positive
+// cost.
+func TestShrinkingBreaksTightMetrics_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := makePartitionedInstance(rng)
+		if p.Cost() == 0 {
+			return true // nothing binds; any scaling stays feasible
+		}
+		// A constraint can only bind if some connected set outgrows C_0.
+		bigComponent := false
+		for _, comp := range p.H.Components() {
+			var s int64
+			for _, v := range comp {
+				s += p.H.NodeSize(v)
+			}
+			if s > p.Spec.Capacity[0] {
+				bigComponent = true
+				break
+			}
+		}
+		if !bigComponent {
+			return true
+		}
+		m := FromPartition(p)
+		for e := range m.D {
+			m.D[e] *= 1e-6
+		}
+		return Check(m, p.Spec) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViolationIsActionable: the reported violation's arithmetic is
+// internally consistent (LHS < Bound and Bound = g(Size)).
+func TestViolationIsActionable(t *testing.T) {
+	h := chainGraph(t, 8)
+	spec := hierarchy.Spec{Capacity: []int64{2, 8}, Weight: []float64{1, 3}, Branch: []int{2, 4}}
+	m := New(h)
+	bad := Check(m, spec)
+	if bad == nil {
+		t.Fatal("zero metric must violate")
+	}
+	if bad.LHS >= bad.Bound {
+		t.Fatalf("violation not violating: %+v", bad)
+	}
+	if math.Abs(bad.Bound-spec.G(bad.Size)) > 1e-12 {
+		t.Fatalf("bound %g != g(%d) = %g", bad.Bound, bad.Size, spec.G(bad.Size))
+	}
+}
+
+// TestInducedMetricZeroOnInternalNets: nets fully inside one leaf get d = 0
+// in the induced metric.
+func TestInducedMetricZeroOnInternalNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 10; trial++ {
+		p := makePartitionedInstance(rng)
+		m := FromPartition(p)
+		for e := 0; e < p.H.NumNets(); e++ {
+			leaf := int32(-1)
+			inside := true
+			for _, v := range p.H.Pins(hypergraph.NetID(e)) {
+				if leaf == -1 {
+					leaf = p.LeafOf[v]
+				} else if p.LeafOf[v] != leaf {
+					inside = false
+					break
+				}
+			}
+			if inside && m.D[e] != 0 {
+				t.Fatalf("trial %d: internal net %d has d = %g", trial, e, m.D[e])
+			}
+			if !inside && m.D[e] <= 0 && p.H.NetCapacity(hypergraph.NetID(e)) > 0 {
+				t.Fatalf("trial %d: cut net %d has d = %g", trial, e, m.D[e])
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package mst computes minimum spanning trees/forests with Prim's and
+// Kruskal's algorithms. Prim's region-growing order is the engine of the
+// paper's find_cut procedure; Kruskal serves as a cross-check oracle and as
+// the basis of the Karger-style MST-cut sampling that the paper lists as
+// future work (§5, citing Karger STOC'96).
+package mst
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+	"repro/internal/unionfind"
+)
+
+// Forest is a minimum spanning forest: the selected edge indices and the
+// total weight. For a connected graph it is a tree with n-1 edges.
+type Forest struct {
+	Edges  []int
+	Weight float64
+}
+
+// Prim computes a minimum spanning forest using an indexed heap
+// (decrease-key) over vertices, O((n+m) log n).
+func Prim(g *graph.Graph) Forest {
+	n := g.NumVertices()
+	inTree := make([]bool, n)
+	bestEdge := make([]int, n)
+	h := pqueue.New(n)
+	var f Forest
+	for start := 0; start < n; start++ {
+		if inTree[start] {
+			continue
+		}
+		bestEdge[start] = -1
+		h.Push(start, 0)
+		for h.Len() > 0 {
+			v, key := h.Pop()
+			if inTree[v] {
+				continue
+			}
+			inTree[v] = true
+			if bestEdge[v] >= 0 {
+				f.Edges = append(f.Edges, bestEdge[v])
+				f.Weight += key
+			}
+			for _, ei := range g.IncidentEdges(v) {
+				e := g.Edge(int(ei))
+				u := g.Other(int(ei), v)
+				if u == v || inTree[u] {
+					continue
+				}
+				if h.PushOrDecrease(u, e.Weight) {
+					bestEdge[u] = int(ei)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Kruskal computes a minimum spanning forest by sorting edges, O(m log m).
+func Kruskal(g *graph.Graph) Forest {
+	order := make([]int, g.NumEdges())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return g.Edge(order[a]).Weight < g.Edge(order[b]).Weight
+	})
+	dsu := unionfind.New(g.NumVertices())
+	var f Forest
+	for _, ei := range order {
+		e := g.Edge(ei)
+		if e.U == e.V {
+			continue
+		}
+		if dsu.Union(e.U, e.V) {
+			f.Edges = append(f.Edges, ei)
+			f.Weight += e.Weight
+		}
+	}
+	return f
+}
+
+// TreeCut describes a cut induced by removing one MST edge: Side is the set
+// of vertices on one side (the side not containing the tree component's
+// anchor), and Capacity is the total weight of graph edges crossing the cut.
+type TreeCut struct {
+	RemovedEdge int
+	Side        []int
+	Capacity    float64
+}
+
+// CutsOfTree enumerates, for a spanning tree of a connected graph, the n-1
+// cuts obtained by deleting each tree edge in turn, with exact crossing
+// capacities. This realizes the observation (paper §5 / Karger) that a
+// minimum cut is induced by removing few edges of a (random) spanning tree;
+// with one removed edge the candidate cuts are exactly these.
+//
+// Complexity is O(n·m) in the worst case (component flood per tree edge);
+// intended for moderate n.
+func CutsOfTree(g *graph.Graph, tree []int) []TreeCut {
+	n := g.NumVertices()
+	inTree := make(map[int]bool, len(tree))
+	for _, ei := range tree {
+		inTree[ei] = true
+	}
+	cuts := make([]TreeCut, 0, len(tree))
+	side := make([]bool, n)
+	for _, removed := range tree {
+		for i := range side {
+			side[i] = false
+		}
+		// Flood from one endpoint of the removed edge using tree edges only.
+		root := g.Edge(removed).U
+		stack := []int{root}
+		side[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range g.IncidentEdges(v) {
+				if int(ei) == removed || !inTree[int(ei)] {
+					continue
+				}
+				u := g.Other(int(ei), v)
+				if !side[u] {
+					side[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		cut := TreeCut{RemovedEdge: removed}
+		for v := 0; v < n; v++ {
+			if side[v] {
+				cut.Side = append(cut.Side, v)
+			}
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			if e.U != e.V && side[e.U] != side[e.V] {
+				cut.Capacity += e.Weight
+			}
+		}
+		cuts = append(cuts, cut)
+	}
+	return cuts
+}
+
+// RandomMSTCut samples a random-weight spanning tree (Kruskal over randomly
+// perturbed weights), enumerates its single-edge cuts, and returns the best
+// one. Repeating over several samples approximates global min-cut in the
+// spirit of Karger's tree-packing argument. The graph must be connected.
+func RandomMSTCut(g *graph.Graph, rng *rand.Rand, samples int) TreeCut {
+	best := TreeCut{Capacity: -1}
+	for s := 0; s < samples; s++ {
+		perturbed := g.Clone()
+		for i := 0; i < perturbed.NumEdges(); i++ {
+			perturbed.SetWeight(i, rng.Float64())
+		}
+		f := Kruskal(perturbed)
+		for _, c := range CutsOfTree(g, f.Edges) {
+			if best.Capacity < 0 || c.Capacity < best.Capacity {
+				best = c
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,202 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+func TestPrimKnownTree(t *testing.T) {
+	// Classic 5-vertex example; MST weight = 1+2+3+4 picking the light ring.
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 4, 4)
+	g.AddEdge(4, 0, 10)
+	g.AddEdge(0, 2, 9)
+	f := Prim(g)
+	if len(f.Edges) != 4 {
+		t.Fatalf("edges = %d", len(f.Edges))
+	}
+	if f.Weight != 10 {
+		t.Fatalf("weight = %g, want 10", f.Weight)
+	}
+}
+
+func TestKruskalKnownTree(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	g.AddEdge(0, 2, 4)
+	f := Kruskal(g)
+	if f.Weight != 3 {
+		t.Fatalf("weight = %g, want 3", f.Weight)
+	}
+}
+
+func TestForestOnDisconnected(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(2, 3, 3)
+	// vertex 4 isolated
+	for name, f := range map[string]Forest{"prim": Prim(g), "kruskal": Kruskal(g)} {
+		if len(f.Edges) != 2 || f.Weight != 5 {
+			t.Fatalf("%s: forest = %+v", name, f)
+		}
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 0, 0.1)
+	g.AddEdge(0, 1, 1)
+	if f := Kruskal(g); len(f.Edges) != 1 || f.Weight != 1 {
+		t.Fatalf("kruskal = %+v", f)
+	}
+	if f := Prim(g); len(f.Edges) != 1 || f.Weight != 1 {
+		t.Fatalf("prim = %+v", f)
+	}
+}
+
+func spanningForestValid(t *testing.T, g *graph.Graph, f Forest) {
+	t.Helper()
+	dsu := unionfind.New(g.NumVertices())
+	for _, ei := range f.Edges {
+		e := g.Edge(ei)
+		if !dsu.Union(e.U, e.V) {
+			t.Fatal("forest contains a cycle")
+		}
+	}
+	// Components of the forest must match components of the graph.
+	want := g.Components()
+	if dsu.Sets() != len(want) {
+		t.Fatalf("forest has %d components, graph has %d", dsu.Sets(), len(want))
+	}
+}
+
+func TestPrimEqualsKruskalOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(30)
+		g := graph.New(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64()*10)
+		}
+		p, k := Prim(g), Kruskal(g)
+		if math.Abs(p.Weight-k.Weight) > 1e-9 {
+			t.Fatalf("trial %d: prim %g vs kruskal %g", trial, p.Weight, k.Weight)
+		}
+		if len(p.Edges) != len(k.Edges) {
+			t.Fatalf("trial %d: edge counts %d vs %d", trial, len(p.Edges), len(k.Edges))
+		}
+		spanningForestValid(t, g, p)
+		spanningForestValid(t, g, k)
+	}
+}
+
+// TestCutProperty verifies the MST cut property: every tree edge is a
+// minimum-weight edge across the cut it induces.
+func TestCutProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(15)
+		g := graph.New(n)
+		// connected: random spanning chain + extras, distinct weights
+		perm := rng.Perm(n)
+		w := 0.0
+		for i := 1; i < n; i++ {
+			w += 1
+			g.AddEdge(perm[i-1], perm[i], w+rng.Float64()*0.5)
+		}
+		for i := 0; i < 2*n; i++ {
+			w += 1
+			g.AddEdge(rng.Intn(n), rng.Intn(n), w+rng.Float64()*0.5)
+		}
+		f := Prim(g)
+		cuts := CutsOfTree(g, f.Edges)
+		for _, c := range cuts {
+			side := make([]bool, n)
+			for _, v := range c.Side {
+				side[v] = true
+			}
+			removed := g.Edge(c.RemovedEdge)
+			for i := 0; i < g.NumEdges(); i++ {
+				e := g.Edge(i)
+				if e.U != e.V && side[e.U] != side[e.V] && e.Weight < removed.Weight {
+					t.Fatalf("trial %d: tree edge %g is not min across its cut (%g)",
+						trial, removed.Weight, e.Weight)
+				}
+			}
+		}
+	}
+}
+
+func TestCutsOfTreeCapacities(t *testing.T) {
+	// Square with a diagonal: tree = three sides.
+	g := graph.New(4)
+	e01 := g.AddEdge(0, 1, 1)
+	e12 := g.AddEdge(1, 2, 1)
+	e23 := g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	g.AddEdge(0, 2, 1)
+	cuts := CutsOfTree(g, []int{e01, e12, e23})
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %d", len(cuts))
+	}
+	byEdge := map[int]TreeCut{}
+	for _, c := range cuts {
+		byEdge[c.RemovedEdge] = c
+	}
+	// Removing e01 separates {1,2,3} / {0}? Flood from U=0 via tree edges
+	// e12,e23 only: 0 alone on its side. Crossing edges: 0-1, 3-0, 0-2 => 3.
+	if byEdge[e01].Capacity != 3 {
+		t.Fatalf("cut(e01) = %g, want 3", byEdge[e01].Capacity)
+	}
+	// Removing e12: {0,1} vs {2,3}: crossing 1-2, 3-0, 0-2 => 3.
+	if byEdge[e12].Capacity != 3 {
+		t.Fatalf("cut(e12) = %g, want 3", byEdge[e12].Capacity)
+	}
+	// Removing e23: {0,1,2} vs {3}: crossing 2-3, 3-0 => 2.
+	if byEdge[e23].Capacity != 2 {
+		t.Fatalf("cut(e23) = %g, want 2", byEdge[e23].Capacity)
+	}
+}
+
+func TestRandomMSTCutFindsObviousBottleneck(t *testing.T) {
+	// Two dense K4 cliques joined by a single unit edge: min cut = 1.
+	g := graph.New(8)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.AddEdge(a, b, 1)
+			g.AddEdge(a+4, b+4, 1)
+		}
+	}
+	g.AddEdge(0, 4, 1)
+	rng := rand.New(rand.NewSource(41))
+	cut := RandomMSTCut(g, rng, 10)
+	if cut.Capacity != 1 {
+		t.Fatalf("sampled cut capacity = %g, want 1", cut.Capacity)
+	}
+	if len(cut.Side) != 4 {
+		t.Fatalf("side size = %d, want 4", len(cut.Side))
+	}
+}
+
+func BenchmarkPrim(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New(2000)
+	for i := 0; i < 8000; i++ {
+		g.AddEdge(rng.Intn(2000), rng.Intn(2000), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prim(g)
+	}
+}

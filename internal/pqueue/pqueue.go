@@ -1,0 +1,178 @@
+// Package pqueue provides an indexed (addressable) binary min-heap keyed by
+// float64 priorities. Items are dense non-negative integer IDs, which makes
+// the heap a natural fit for Dijkstra and Prim over graphs whose vertices are
+// numbered 0..n-1: DecreaseKey is O(log n) with O(1) lookup of an item's
+// position.
+package pqueue
+
+// IndexedMinHeap is a binary min-heap over integer items with float64 keys.
+// Every item must be in [0, capacity). The zero value is not usable; call New.
+type IndexedMinHeap struct {
+	keys  []float64 // keys[item] = current priority of item
+	heap  []int32   // heap[i] = item at heap position i
+	pos   []int32   // pos[item] = heap position of item, or -1 if absent
+	count int
+}
+
+// New returns an empty heap able to hold items 0..capacity-1.
+func New(capacity int) *IndexedMinHeap {
+	h := &IndexedMinHeap{
+		keys: make([]float64, capacity),
+		heap: make([]int32, 0, capacity),
+		pos:  make([]int32, capacity),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of items currently in the heap.
+func (h *IndexedMinHeap) Len() int { return h.count }
+
+// Contains reports whether item is currently in the heap.
+func (h *IndexedMinHeap) Contains(item int) bool {
+	return item >= 0 && item < len(h.pos) && h.pos[item] >= 0
+}
+
+// Key returns the current key of item. It panics if the item is not present.
+func (h *IndexedMinHeap) Key(item int) float64 {
+	if !h.Contains(item) {
+		panic("pqueue: Key of absent item")
+	}
+	return h.keys[item]
+}
+
+// Push inserts item with the given key. It panics if the item is already
+// present or out of range.
+func (h *IndexedMinHeap) Push(item int, key float64) {
+	if item < 0 || item >= len(h.pos) {
+		panic("pqueue: item out of range")
+	}
+	if h.pos[item] >= 0 {
+		panic("pqueue: duplicate Push")
+	}
+	h.keys[item] = key
+	h.heap = append(h.heap, int32(item))
+	h.pos[item] = int32(h.count)
+	h.count++
+	h.siftUp(h.count - 1)
+}
+
+// Pop removes and returns the item with the minimum key and that key.
+// It panics on an empty heap. Ties are broken arbitrarily.
+func (h *IndexedMinHeap) Pop() (item int, key float64) {
+	if h.count == 0 {
+		panic("pqueue: Pop of empty heap")
+	}
+	top := h.heap[0]
+	key = h.keys[top]
+	h.swap(0, h.count-1)
+	h.heap = h.heap[:h.count-1]
+	h.pos[top] = -1
+	h.count--
+	if h.count > 0 {
+		h.siftDown(0)
+	}
+	return int(top), key
+}
+
+// Peek returns the minimum item and key without removing it.
+func (h *IndexedMinHeap) Peek() (item int, key float64) {
+	if h.count == 0 {
+		panic("pqueue: Peek of empty heap")
+	}
+	return int(h.heap[0]), h.keys[h.heap[0]]
+}
+
+// DecreaseKey lowers the key of an existing item. It panics if the item is
+// absent or the new key is greater than the current one.
+func (h *IndexedMinHeap) DecreaseKey(item int, key float64) {
+	if !h.Contains(item) {
+		panic("pqueue: DecreaseKey of absent item")
+	}
+	if key > h.keys[item] {
+		panic("pqueue: DecreaseKey would increase key")
+	}
+	h.keys[item] = key
+	h.siftUp(int(h.pos[item]))
+}
+
+// PushOrDecrease inserts the item if absent, lowers its key if the new key is
+// smaller, and otherwise does nothing. It reports whether the heap changed.
+// This is the common relaxation step of Dijkstra and Prim.
+func (h *IndexedMinHeap) PushOrDecrease(item int, key float64) bool {
+	if !h.Contains(item) {
+		h.Push(item, key)
+		return true
+	}
+	if key < h.keys[item] {
+		h.DecreaseKey(item, key)
+		return true
+	}
+	return false
+}
+
+// Remove deletes an arbitrary item from the heap. It panics if absent.
+func (h *IndexedMinHeap) Remove(item int) {
+	if !h.Contains(item) {
+		panic("pqueue: Remove of absent item")
+	}
+	i := int(h.pos[item])
+	h.swap(i, h.count-1)
+	h.heap = h.heap[:h.count-1]
+	h.pos[item] = -1
+	h.count--
+	if i < h.count {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+// Reset empties the heap, keeping its capacity.
+func (h *IndexedMinHeap) Reset() {
+	for _, it := range h.heap {
+		h.pos[it] = -1
+	}
+	h.heap = h.heap[:0]
+	h.count = 0
+}
+
+func (h *IndexedMinHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *IndexedMinHeap) less(i, j int) bool {
+	return h.keys[h.heap[i]] < h.keys[h.heap[j]]
+}
+
+func (h *IndexedMinHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedMinHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < h.count && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < h.count && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,153 @@
+package shortest
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/pqueue"
+)
+
+// HyperSPT grows shortest-path trees over a hypergraph under a per-net
+// length function: traversing from any pin of net e to any other pin costs
+// length(e). This is the hypergraph extension of the paper's S(v,k) trees —
+// nodes are settled in increasing distance from the root, and the tree
+// records, for every settled node, the net that connected it (its "shortest
+// connecting edge").
+//
+// The struct owns reusable workspaces so that Algorithm 2, which grows trees
+// from every node over many rounds, allocates nothing per growth after the
+// first.
+type HyperSPT struct {
+	h      *hypergraph.Hypergraph
+	dist   []float64
+	via    []int32 // net that settled each node; -1 for the root
+	parent []int32 // pin of via-net already in the tree; -1 for the root
+	state  []uint8 // 0 untouched, 1 in heap, 2 settled
+	netGen []uint32
+	gen    uint32
+	heap   *pqueue.IndexedMinHeap
+	touch  []int32 // nodes whose state must be reset before the next growth
+}
+
+// Visit describes one settled node during SPT growth.
+type Visit struct {
+	Node   hypergraph.NodeID
+	Dist   float64
+	Via    hypergraph.NetID  // connecting net, -1 for the root
+	Parent hypergraph.NodeID // tree predecessor, -1 for the root
+}
+
+// NewHyperSPT returns a grower bound to h.
+func NewHyperSPT(h *hypergraph.Hypergraph) *HyperSPT {
+	n := h.NumNodes()
+	return &HyperSPT{
+		h:      h,
+		dist:   make([]float64, n),
+		via:    make([]int32, n),
+		parent: make([]int32, n),
+		state:  make([]uint8, n),
+		netGen: make([]uint32, h.NumNets()),
+		heap:   pqueue.New(n),
+	}
+}
+
+// Grow runs Dijkstra from root with net lengths given by length, invoking
+// visit for every settled node in increasing distance order (the root first,
+// at distance 0). Growth stops when visit returns false, when all reachable
+// nodes are settled, or never reaches unreachable components. It returns the
+// number of settled nodes.
+//
+// length must return non-negative values and be stable for the duration of
+// the call.
+func (s *HyperSPT) Grow(root hypergraph.NodeID, length func(hypergraph.NetID) float64, visit func(Visit) bool) int {
+	s.reset()
+	s.gen++
+	s.dist[root] = 0
+	s.via[root] = -1
+	s.parent[root] = -1
+	s.state[root] = 1
+	s.touch = append(s.touch, int32(root))
+	s.heap.Push(int(root), 0)
+
+	settled := 0
+	for s.heap.Len() > 0 {
+		vi, dv := s.heap.Pop()
+		v := hypergraph.NodeID(vi)
+		if s.state[v] == 2 {
+			continue
+		}
+		s.state[v] = 2
+		settled++
+		keep := visit(Visit{
+			Node:   v,
+			Dist:   dv,
+			Via:    hypergraph.NetID(s.via[v]),
+			Parent: hypergraph.NodeID(s.parent[v]),
+		})
+		if !keep {
+			break
+		}
+		for _, e := range s.h.Incident(v) {
+			// The first settled pin of a net offers the minimal distance
+			// through it (later-settled pins only have larger distances),
+			// so each net needs scanning exactly once.
+			if s.netGen[e] == s.gen {
+				continue
+			}
+			s.netGen[e] = s.gen
+			le := length(e)
+			nd := dv + le
+			for _, u := range s.h.Pins(e) {
+				if s.state[u] == 2 || u == v {
+					continue
+				}
+				if s.state[u] == 0 {
+					s.state[u] = 1
+					s.dist[u] = nd
+					s.via[u] = int32(e)
+					s.parent[u] = int32(v)
+					s.touch = append(s.touch, int32(u))
+					s.heap.Push(int(u), nd)
+				} else if nd < s.dist[u] {
+					s.dist[u] = nd
+					s.via[u] = int32(e)
+					s.parent[u] = int32(v)
+					s.heap.DecreaseKey(int(u), nd)
+				}
+			}
+		}
+	}
+	return settled
+}
+
+// Dist returns the distance of v recorded by the last Grow; meaningful only
+// for nodes that were settled or reached.
+func (s *HyperSPT) Dist(v hypergraph.NodeID) float64 { return s.dist[v] }
+
+func (s *HyperSPT) reset() {
+	for _, v := range s.touch {
+		s.state[v] = 0
+	}
+	s.touch = s.touch[:0]
+	s.heap.Reset()
+	if s.gen == ^uint32(0) {
+		// Generation counter wrapped: clear net marks the slow way.
+		for i := range s.netGen {
+			s.netGen[i] = 0
+		}
+		s.gen = 0
+	}
+}
+
+// HyperDistances computes full single-source distances on the hypergraph —
+// a convenience wrapper over Grow that settles everything reachable.
+func HyperDistances(h *hypergraph.Hypergraph, root hypergraph.NodeID, length func(hypergraph.NetID) float64) []float64 {
+	dist := make([]float64, h.NumNodes())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	s := NewHyperSPT(h)
+	s.Grow(root, length, func(v Visit) bool {
+		dist[v.Node] = v.Dist
+		return true
+	})
+	return dist
+}

@@ -1,0 +1,319 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+)
+
+func TestDijkstraLine(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	r := Dijkstra(g, 0)
+	want := []float64{0, 1, 3, 6}
+	for v, w := range want {
+		if r.Dist[v] != w {
+			t.Fatalf("Dist[%d] = %g, want %g", v, r.Dist[v], w)
+		}
+	}
+	path := r.PathTo(3)
+	if len(path) != 4 || path[0] != 0 || path[3] != 3 {
+		t.Fatalf("PathTo(3) = %v", path)
+	}
+}
+
+func TestDijkstraPrefersLighterDetour(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	r := Dijkstra(g, 0)
+	if r.Dist[2] != 3 {
+		t.Fatalf("Dist[2] = %g, want 3", r.Dist[2])
+	}
+	if p := r.PathTo(2); len(p) != 3 || p[1] != 1 {
+		t.Fatalf("PathTo(2) = %v", p)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	r := Dijkstra(g, 0)
+	if !math.IsInf(r.Dist[2], 1) {
+		t.Fatalf("Dist[2] = %g, want +Inf", r.Dist[2])
+	}
+	if r.PathTo(2) != nil {
+		t.Fatal("PathTo(unreachable) should be nil")
+	}
+}
+
+func TestDijkstraZeroWeightEdges(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	r := Dijkstra(g, 0)
+	if r.Dist[2] != 0 {
+		t.Fatalf("Dist[2] = %g, want 0", r.Dist[2])
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64()*10)
+	}
+	return g
+}
+
+func TestDijkstraMatchesBellmanFordAndFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		src := rng.Intn(n)
+		dj := Dijkstra(g, src)
+		bf := BellmanFord(g, src)
+		fw := FloydWarshall(g)
+		for v := 0; v < n; v++ {
+			if !closeOrBothInf(dj.Dist[v], bf[v]) {
+				t.Fatalf("trial %d: Dijkstra %g vs BellmanFord %g at %d", trial, dj.Dist[v], bf[v], v)
+			}
+			if !closeOrBothInf(dj.Dist[v], fw[src][v]) {
+				t.Fatalf("trial %d: Dijkstra %g vs FloydWarshall %g at %d", trial, dj.Dist[v], fw[src][v], v)
+			}
+		}
+	}
+}
+
+func closeOrBothInf(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestDijkstraParentEdgesFormTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 30, 80)
+	r := Dijkstra(g, 0)
+	for v := 0; v < 30; v++ {
+		if r.Dist[v] == Inf || v == 0 {
+			continue
+		}
+		p, pe := r.Parent[v], r.ParentEdge[v]
+		if p < 0 || pe < 0 {
+			t.Fatalf("settled vertex %d lacks parent", v)
+		}
+		e := g.Edge(pe)
+		if (e.U != v || e.V != p) && (e.V != v || e.U != p) {
+			t.Fatalf("parent edge %d does not join %d-%d", pe, p, v)
+		}
+		if math.Abs(r.Dist[p]+e.Weight-r.Dist[v]) > 1e-9 {
+			t.Fatalf("tree edge not tight at %d", v)
+		}
+	}
+}
+
+// ---- hypergraph SPT ----
+
+// pairExpand builds a plain graph where each net of h becomes a clique of
+// edges with weight length(e). Dijkstra over it is the oracle for HyperSPT.
+func pairExpand(h *hypergraph.Hypergraph, length func(hypergraph.NetID) float64) *graph.Graph {
+	g := graph.New(h.NumNodes())
+	for e := 0; e < h.NumNets(); e++ {
+		ps := h.Pins(hypergraph.NetID(e))
+		w := length(hypergraph.NetID(e))
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				g.AddEdge(int(ps[i]), int(ps[j]), w)
+			}
+		}
+	}
+	return g
+}
+
+func randomHypergraph(rng *rand.Rand, n, m int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(n)
+	for e := 0; e < m; e++ {
+		maxCard := 4
+		if maxCard > n {
+			maxCard = n
+		}
+		card := 2 + rng.Intn(maxCard-1)
+		perm := rng.Perm(n)[:card]
+		pins := make([]hypergraph.NodeID, card)
+		for i, p := range perm {
+			pins[i] = hypergraph.NodeID(p)
+		}
+		b.AddNet("", 1, pins...)
+	}
+	return b.MustBuild()
+}
+
+func TestHyperDistancesMatchesPairExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(25)
+		h := randomHypergraph(rng, n, 1+rng.Intn(2*n))
+		lens := make([]float64, h.NumNets())
+		for i := range lens {
+			lens[i] = rng.Float64() * 5
+		}
+		length := func(e hypergraph.NetID) float64 { return lens[e] }
+		g := pairExpand(h, length)
+		src := hypergraph.NodeID(rng.Intn(n))
+		hd := HyperDistances(h, src, length)
+		r := Dijkstra(g, int(src))
+		for v := 0; v < n; v++ {
+			if !closeOrBothInf(hd[v], r.Dist[v]) {
+				t.Fatalf("trial %d: node %d: hyper %g vs graph %g", trial, v, hd[v], r.Dist[v])
+			}
+		}
+	}
+}
+
+func TestGrowVisitsInDistanceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := randomHypergraph(rng, 30, 60)
+	lens := make([]float64, h.NumNets())
+	for i := range lens {
+		lens[i] = rng.Float64()
+	}
+	s := NewHyperSPT(h)
+	last := -1.0
+	count := s.Grow(0, func(e hypergraph.NetID) float64 { return lens[e] }, func(v Visit) bool {
+		if v.Dist < last {
+			t.Fatalf("visit order regressed: %g after %g", v.Dist, last)
+		}
+		last = v.Dist
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no nodes settled")
+	}
+}
+
+func TestGrowStopsWhenVisitReturnsFalse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	h := randomHypergraph(rng, 20, 40)
+	s := NewHyperSPT(h)
+	visited := 0
+	count := s.Grow(0, func(hypergraph.NetID) float64 { return 1 }, func(v Visit) bool {
+		visited++
+		return visited < 5
+	})
+	if count != 5 || visited != 5 {
+		t.Fatalf("settled %d, visited %d, want 5", count, visited)
+	}
+}
+
+func TestGrowRootVisit(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(3)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 1, 1, 2)
+	h := b.MustBuild()
+	s := NewHyperSPT(h)
+	var visits []Visit
+	s.Grow(1, func(hypergraph.NetID) float64 { return 2 }, func(v Visit) bool {
+		visits = append(visits, v)
+		return true
+	})
+	if len(visits) != 3 {
+		t.Fatalf("settled %d nodes", len(visits))
+	}
+	if visits[0].Node != 1 || visits[0].Dist != 0 || visits[0].Via != -1 || visits[0].Parent != -1 {
+		t.Fatalf("root visit = %+v", visits[0])
+	}
+	for _, v := range visits[1:] {
+		if v.Dist != 2 || v.Parent != 1 {
+			t.Fatalf("child visit = %+v", v)
+		}
+	}
+}
+
+func TestGrowTreeStructureIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	h := randomHypergraph(rng, 40, 80)
+	lens := make([]float64, h.NumNets())
+	for i := range lens {
+		lens[i] = 0.1 + rng.Float64()
+	}
+	s := NewHyperSPT(h)
+	dist := map[hypergraph.NodeID]float64{}
+	s.Grow(3, func(e hypergraph.NetID) float64 { return lens[e] }, func(v Visit) bool {
+		if v.Via >= 0 {
+			pd, ok := dist[v.Parent]
+			if !ok {
+				t.Fatalf("parent %d not settled before child %d", v.Parent, v.Node)
+			}
+			if math.Abs(pd+lens[v.Via]-v.Dist) > 1e-9 {
+				t.Fatalf("tree distance not tight at %d: %g + %g != %g", v.Node, pd, lens[v.Via], v.Dist)
+			}
+			// the via net must actually contain both endpoints
+			foundP, foundC := false, false
+			for _, u := range h.Pins(v.Via) {
+				if u == v.Parent {
+					foundP = true
+				}
+				if u == v.Node {
+					foundC = true
+				}
+			}
+			if !foundP || !foundC {
+				t.Fatalf("via net %d does not join %d-%d", v.Via, v.Parent, v.Node)
+			}
+		}
+		dist[v.Node] = v.Dist
+		return true
+	})
+}
+
+func TestGrowReuseAcrossRootsMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	h := randomHypergraph(rng, 25, 50)
+	lens := make([]float64, h.NumNets())
+	for i := range lens {
+		lens[i] = rng.Float64()
+	}
+	length := func(e hypergraph.NetID) float64 { return lens[e] }
+	shared := NewHyperSPT(h)
+	for root := 0; root < h.NumNodes(); root++ {
+		got := make([]float64, h.NumNodes())
+		for i := range got {
+			got[i] = Inf
+		}
+		shared.Grow(hypergraph.NodeID(root), length, func(v Visit) bool {
+			got[v.Node] = v.Dist
+			return true
+		})
+		want := HyperDistances(h, hypergraph.NodeID(root), length)
+		for v := range want {
+			if !closeOrBothInf(got[v], want[v]) {
+				t.Fatalf("root %d node %d: reused %g vs fresh %g", root, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func BenchmarkHyperSPTGrow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomHypergraph(rng, 1000, 1500)
+	lens := make([]float64, h.NumNets())
+	for i := range lens {
+		lens[i] = rng.Float64()
+	}
+	s := NewHyperSPT(h)
+	length := func(e hypergraph.NetID) float64 { return lens[e] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Grow(hypergraph.NodeID(i%1000), length, func(Visit) bool { return true })
+	}
+}

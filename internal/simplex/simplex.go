@@ -1,0 +1,227 @@
+// Package simplex is a small dense linear-programming solver (two-phase
+// primal simplex with Bland's anti-cycling rule) for problems of the form
+//
+//	minimize    c·x
+//	subject to  A_i·x >= b_i   for every row i
+//	            x >= 0.
+//
+// It exists to compute exact optima of the spreading-metric LP (P1) on
+// small instances via cutting planes — the Lemma 2 lower bound that
+// certifies heuristic solution quality. It is not a production LP solver:
+// dense tableaus bound it to a few hundred rows and columns, which is
+// exactly the regime the reproduction needs.
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal: an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible: no x >= 0 satisfies the constraints.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is min C·x s.t. A[i]·x >= B[i], x >= 0. Every row of A must have
+// len(C) entries.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the optimal x and objective
+// value when Status == Optimal.
+func Solve(p Problem) (x []float64, value float64, status Status) {
+	n := len(p.C)
+	m := len(p.A)
+	if m == 0 {
+		// No constraints: minimum of c·x over x >= 0 is 0 if c >= 0.
+		for _, c := range p.C {
+			if c < -eps {
+				return nil, 0, Unbounded
+			}
+		}
+		return make([]float64, n), 0, Optimal
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			panic(fmt.Sprintf("simplex: row %d has %d entries, want %d", i, len(row), n))
+		}
+	}
+
+	// Standard form: A·x - s + a = b with b >= 0 (rows with negative b are
+	// multiplied by -1, flipping >= into <=, handled by the sign of the
+	// surplus column). Columns: [x (n)] [slack/surplus (m)] [artificial (m)].
+	total := n + 2*m
+	t := make([][]float64, m+1) // last row = objective
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		bi := p.B[i]
+		if bi < 0 {
+			sign = -1.0
+			bi = -bi
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * p.A[i][j]
+		}
+		// >= with sign +1 gets a surplus (-1); flipped rows become <= with a
+		// slack (+1).
+		t[i][n+i] = -sign
+		t[i][n+m+i] = 1
+		t[i][total] = bi
+		basis[i] = n + m + i
+	}
+
+	// Phase 1: minimize the sum of artificials. The cost row starts as the
+	// phase-1 costs (1 on artificial columns) and is reduced against the
+	// all-artificial starting basis.
+	obj := t[m]
+	for i := 0; i < m; i++ {
+		obj[n+m+i] = 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j <= total; j++ {
+			obj[j] -= t[i][j]
+		}
+	}
+	if !pivotLoop(t, basis, total, total) {
+		return nil, 0, Unbounded // cannot happen in phase 1, defensive
+	}
+	if -t[m][total] > 1e-7 {
+		return nil, 0, Infeasible
+	}
+	// Drive any artificial still in the basis out (degenerate case).
+	for i := 0; i < m; i++ {
+		if basis[i] >= n+m {
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it.
+				for j := 0; j <= total; j++ {
+					t[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: restore the real objective. Artificials are excluded from
+	// pivoting (entering columns are restricted to the real and surplus
+	// variables); any artificial still basic sits at value zero after the
+	// drive-out above and prices at cost zero.
+	for j := 0; j <= total; j++ {
+		t[m][j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t[m][j] = p.C[j]
+	}
+	// Express the objective in terms of the non-basic variables.
+	for i := 0; i < m; i++ {
+		cb := t[m][basis[i]]
+		if cb != 0 {
+			for j := 0; j <= total; j++ {
+				t[m][j] -= cb * t[i][j]
+			}
+		}
+	}
+	if !pivotLoop(t, basis, total, n+m) {
+		return nil, 0, Unbounded
+	}
+
+	x = make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	return x, -t[m][total], Optimal
+}
+
+// pivotLoop runs Bland's-rule pivots until optimality (true) or
+// unboundedness (false). Entering columns are restricted to [0, allowed).
+func pivotLoop(t [][]float64, basis []int, total, allowed int) bool {
+	m := len(basis)
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			panic("simplex: pivot limit exceeded")
+		}
+		// Entering: smallest index with negative reduced cost (Bland).
+		col := -1
+		for j := 0; j < allowed; j++ {
+			if t[m][j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return true
+		}
+		// Leaving: min ratio, ties by smallest basis index (Bland).
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][col] > eps {
+				ratio := t[i][total] / t[i][col]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return false
+		}
+		pivot(t, basis, row, col, total)
+	}
+}
+
+func pivot(t [][]float64, basis []int, row, col, total int) {
+	pv := t[row][col]
+	for j := 0; j <= total; j++ {
+		t[row][j] /= pv
+	}
+	for i := 0; i <= len(basis); i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,192 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleTwoVar(t *testing.T) {
+	// min x+y s.t. x+2y >= 4, 3x+y >= 6 -> optimum at intersection
+	// (x,y) = (8/5, 6/5), value 14/5.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 2}, {3, 1}},
+		B: []float64{4, 6},
+	}
+	x, v, st := Solve(p)
+	if st != Optimal {
+		t.Fatalf("status = %v", st)
+	}
+	if !almost(v, 14.0/5) {
+		t.Fatalf("value = %g, want 2.8", v)
+	}
+	if !almost(x[0], 8.0/5) || !almost(x[1], 6.0/5) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSingleConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y >= 10: put everything on the cheaper variable.
+	p := Problem{C: []float64{2, 3}, A: [][]float64{{1, 1}}, B: []float64{10}}
+	x, v, st := Solve(p)
+	if st != Optimal || !almost(v, 20) || !almost(x[0], 10) {
+		t.Fatalf("got x=%v v=%g st=%v", x, v, st)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	x, v, st := Solve(Problem{C: []float64{1, 2}})
+	if st != Optimal || v != 0 || x[0] != 0 || x[1] != 0 {
+		t.Fatalf("got x=%v v=%g st=%v", x, v, st)
+	}
+}
+
+func TestUnboundedNoConstraints(t *testing.T) {
+	_, _, st := Solve(Problem{C: []float64{-1}})
+	if st != Unbounded {
+		t.Fatalf("status = %v, want unbounded", st)
+	}
+}
+
+func TestUnboundedWithConstraint(t *testing.T) {
+	// min -x s.t. x >= 1: x can grow forever.
+	_, _, st := Solve(Problem{C: []float64{-1}, A: [][]float64{{1}}, B: []float64{1}})
+	if st != Unbounded {
+		t.Fatalf("status = %v, want unbounded", st)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 5 and -x >= -2 (i.e. x <= 2) cannot both hold.
+	p := Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{5, -2},
+	}
+	_, _, st := Solve(p)
+	if st != Infeasible {
+		t.Fatalf("status = %v, want infeasible", st)
+	}
+}
+
+func TestNegativeRHSFlip(t *testing.T) {
+	// -x >= -4 (x <= 4) with min -0... use min x with x+y >= 2, -y >= -1:
+	// y <= 1 so x >= 1, optimum x=1,y=1, value 1.
+	p := Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{1, 1}, {0, -1}},
+		B: []float64{2, -1},
+	}
+	x, v, st := Solve(p)
+	if st != Optimal || !almost(v, 1) {
+		t.Fatalf("got x=%v v=%g st=%v", x, v, st)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {1, 1}, {2, 2}},
+		B: []float64{4, 4, 8},
+	}
+	_, v, st := Solve(p)
+	if st != Optimal || !almost(v, 4) {
+		t.Fatalf("v=%g st=%v", v, st)
+	}
+}
+
+func TestDegenerateTies(t *testing.T) {
+	// Multiple constraints active at the optimum; Bland must not cycle.
+	p := Problem{
+		C: []float64{1, 1, 1},
+		A: [][]float64{
+			{1, 0, 0},
+			{0, 1, 0},
+			{0, 0, 1},
+			{1, 1, 1},
+		},
+		B: []float64{1, 1, 1, 3},
+	}
+	_, v, st := Solve(p)
+	if st != Optimal || !almost(v, 3) {
+		t.Fatalf("v=%g st=%v", v, st)
+	}
+}
+
+func TestPanicsOnRaggedRow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Solve(Problem{C: []float64{1, 2}, A: [][]float64{{1}}, B: []float64{1}})
+}
+
+// TestRandomAgainstVertexEnumeration cross-checks small random LPs against
+// brute-force enumeration of constraint-boundary intersections.
+func TestRandomAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 40; trial++ {
+		// 2 variables, up to 4 constraints, all coefficients positive so the
+		// LP is feasible and bounded.
+		n := 2
+		m := 1 + rng.Intn(4)
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := 0; j < n; j++ {
+			p.C[j] = 0.5 + rng.Float64()*2
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = []float64{0.1 + rng.Float64()*2, 0.1 + rng.Float64()*2}
+			p.B[i] = 1 + rng.Float64()*5
+		}
+		_, got, st := Solve(p)
+		if st != Optimal {
+			t.Fatalf("trial %d: status %v", trial, st)
+		}
+		want := bruteLP2(p)
+		if !almost(got, want) {
+			t.Fatalf("trial %d: simplex %g vs brute %g", trial, got, want)
+		}
+	}
+}
+
+// bruteLP2 solves a 2-variable LP with positive data by enumerating candidate
+// vertices: axis intercepts and pairwise constraint intersections.
+func bruteLP2(p Problem) float64 {
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for i := range p.A {
+			if p.A[i][0]*x+p.A[i][1]*y < p.B[i]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(1)
+	consider := func(x, y float64) {
+		if feasible(x, y) {
+			if v := p.C[0]*x + p.C[1]*y; v < best {
+				best = v
+			}
+		}
+	}
+	for i := range p.A {
+		consider(p.B[i]/p.A[i][0], 0)
+		consider(0, p.B[i]/p.A[i][1])
+		for j := i + 1; j < len(p.A); j++ {
+			det := p.A[i][0]*p.A[j][1] - p.A[i][1]*p.A[j][0]
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (p.B[i]*p.A[j][1] - p.B[j]*p.A[i][1]) / det
+			y := (p.A[i][0]*p.B[j] - p.A[j][0]*p.B[i]) / det
+			consider(x, y)
+		}
+	}
+	return best
+}

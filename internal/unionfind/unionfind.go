@@ -1,0 +1,80 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path halving. It is used by Kruskal's MST, connectivity queries, and
+// cluster bookkeeping in the partitioners.
+package unionfind
+
+// DSU is a disjoint-set union over elements 0..n-1.
+type DSU struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Len reports the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets reports the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the representative of x's set, using path halving.
+func (d *DSU) Find(x int) int {
+	p := int32(x)
+	for d.parent[p] != p {
+		d.parent[p] = d.parent[d.parent[p]]
+		p = d.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = int32(rx)
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Groups returns the sets as slices of members, in ascending order of the
+// smallest member of each set. Members within a set are ascending.
+func (d *DSU) Groups() [][]int {
+	byRoot := make(map[int][]int)
+	order := make([]int, 0)
+	for i := 0; i < len(d.parent); i++ {
+		r := d.Find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(order))
+	for _, r := range order {
+		groups = append(groups, byRoot[r])
+	}
+	return groups
+}

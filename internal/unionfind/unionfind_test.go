@@ -1,0 +1,109 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 || d.Len() != 5 {
+		t.Fatalf("Sets=%d Len=%d, want 5,5", d.Sets(), d.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, d.Find(i))
+		}
+	}
+}
+
+func TestUnionMerges(t *testing.T) {
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Fatal("Union(0,1) = false")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeat Union = true")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same is wrong after union")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+	for _, pair := range [][2]int{{0, 2}, {1, 3}, {0, 3}} {
+		if !d.Same(pair[0], pair[1]) {
+			t.Fatalf("Same(%d,%d) = false", pair[0], pair[1])
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := New(7)
+	d.Union(0, 3)
+	d.Union(3, 5)
+	d.Union(1, 2)
+	groups := d.Groups()
+	want := [][]int{{0, 3, 5}, {1, 2}, {4}, {6}}
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(want))
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAgainstNaive_Quick compares DSU with a brute-force labeling under
+// random union sequences.
+func TestAgainstNaive_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		d := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		for op := 0; op < 80; op++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			d.Union(x, y)
+			lx, ly := label[x], label[y]
+			if lx != ly {
+				for i := range label {
+					if label[i] == ly {
+						label[i] = lx
+					}
+				}
+			}
+			// spot-check consistency
+			a, b := rng.Intn(n), rng.Intn(n)
+			if d.Same(a, b) != (label[a] == label[b]) {
+				return false
+			}
+		}
+		// final full check, including set count
+		sets := map[int]bool{}
+		for i := range label {
+			sets[label[i]] = true
+			for j := range label {
+				if d.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return d.Sets() == len(sets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
