@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the packages with concurrency (parallel FLOW
+# iterations) and the hot cancellation paths.
+race:
+	$(GO) test -race ./internal/htp/ ./internal/inject/
+
+# Full pre-merge gate: build, vet, unit tests, race pass.
+check: build vet test race

@@ -1,0 +1,123 @@
+// Facade-level tests of the anytime contract: *Ctx entry points, stop
+// reasons, and the error taxonomy, exercised exactly as a downstream user
+// would.
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestFacadeCtxVariantsAndStopReasons(t *testing.T) {
+	h := smallCircuit(t)
+	spec, err := repro.BinaryTreeSpec(h.TotalSize(), 3, repro.GeometricWeights(3, 2), 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := repro.FlowCtx(context.Background(), h, spec, repro.FlowOptions{Iterations: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stop != repro.StopConverged {
+		t.Fatalf("Stop = %q, want %q", res.Stop, repro.StopConverged)
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := repro.FlowCtx(dead, h, spec, repro.FlowOptions{}); !errors.Is(err, repro.ErrNoPartition) {
+		t.Fatalf("dead context should yield ErrNoPartition, got: %v", err)
+	}
+	if _, err := repro.RFMCtx(dead, h, spec, repro.RFMOptions{}); !errors.Is(err, repro.ErrNoPartition) {
+		t.Fatalf("RFMCtx on dead context: %v", err)
+	}
+	if _, err := repro.GFMCtx(dead, h, spec, repro.GFMOptions{}); !errors.Is(err, repro.ErrNoPartition) {
+		t.Fatalf("GFMCtx on dead context: %v", err)
+	}
+
+	// RefineCtx and RatioCutCtx stay valid under a cancelled context.
+	cost, _ := repro.RefineCtx(dead, res.Partition, repro.RefineOptions{})
+	if cost != res.Partition.Cost() {
+		t.Fatalf("cancelled refinement reported %g, partition says %g", cost, res.Partition.Cost())
+	}
+	rc := repro.RatioCutCtx(dead, h, repro.RatioCutOptions{})
+	var a, b int
+	for _, inA := range rc.InA {
+		if inA {
+			a++
+		} else {
+			b++
+		}
+	}
+	if a == 0 || b == 0 {
+		t.Fatalf("ratio cut degenerate under cancellation: %d/%d", a, b)
+	}
+
+	// ExactLowerBoundCtx returns the bound proven so far, never an error,
+	// when interrupted.
+	lb, err := repro.ExactLowerBoundCtx(dead, h, spec, 0)
+	if err != nil {
+		t.Fatalf("interrupted lower bound errored: %v", err)
+	}
+	if lb.Stop != repro.StopCancelled {
+		t.Fatalf("lower bound Stop = %q, want %q", lb.Stop, repro.StopCancelled)
+	}
+}
+
+func TestFacadeDeadlineBestSoFar(t *testing.T) {
+	cs := repro.CircuitSpec{Name: "mid", Gates: 2000, PIs: 32, POs: 16}
+	h := repro.GenerateCircuit(cs, 7)
+	spec, err := repro.BinaryTreeSpec(h.TotalSize(), 3, repro.GeometricWeights(3, 2), 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := repro.FlowCtx(ctx, h, spec, repro.FlowOptions{Iterations: 64, Seed: 5})
+	if err != nil {
+		t.Fatalf("best-so-far expected at deadline, got: %v", err)
+	}
+	if res.Stop != repro.StopDeadline {
+		t.Fatalf("Stop = %q, want %q", res.Stop, repro.StopDeadline)
+	}
+	if err := res.Partition.Validate(); err != nil {
+		t.Fatalf("best-so-far partition invalid: %v", err)
+	}
+}
+
+func TestFacadeErrorTaxonomy(t *testing.T) {
+	// Oversized node: one node bigger than C_0.
+	b := repro.NewNetlistBuilder()
+	b.AddNode("huge", 100)
+	b.AddNode("tiny", 1)
+	b.AddNet("n", 1, 0, 1)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := repro.BinaryTreeSpec(h.TotalSize(), 2, repro.GeometricWeights(2, 2), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repro.ComputeSpreadingMetric(h, spec, repro.InjectOptions{}); !errors.Is(err, repro.ErrOversizedNode) {
+		t.Fatalf("want ErrOversizedNode, got: %v", err)
+	}
+
+	// Invalid spec: negative weight.
+	bad := spec
+	bad.Weight = []float64{-1, 1}
+	if err := bad.Validate(); !errors.Is(err, repro.ErrInvalidSpec) {
+		t.Fatalf("want ErrInvalidSpec, got: %v", err)
+	}
+
+	// Infeasible tree mapping: capacity short of the design size.
+	small := repro.NewHostTree([]int64{1, 1})
+	small.AddEdge(0, 1, 1)
+	if _, err := repro.MapOntoTree(h, small, repro.TreeMapOptions{}); !errors.Is(err, repro.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got: %v", err)
+	}
+}

@@ -9,12 +9,19 @@
 //	experiments -table 2        # one table
 //	experiments -figure 2       # one figure
 //	experiments -table 2 -quick # small circuits only
+//	experiments -all -timeout 30s  # stop at the budget, partial output
+//
+// With -timeout (or on Ctrl-C) the run stops at the deadline: solvers
+// return best-so-far results for the rows already in flight, and remaining
+// sections are skipped with a note.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/circuits"
@@ -27,9 +34,14 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
-	seed  = flag.Int64("seed", 1, "master random seed")
-	flowN = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+	quick   = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
+	seed    = flag.Int64("seed", 1, "master random seed")
+	flowN   = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+	timeout = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited")
+
+	// runCtx governs every solver call; set in main, cancelled by -timeout
+	// or SIGINT.
+	runCtx = context.Background()
 )
 
 func main() {
@@ -38,14 +50,23 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+	runCtx = ctx
+
 	if *all {
-		table1()
-		table2and3()
-		figure1()
-		figure2()
-		scaling()
-		metricQuality()
-		ablation()
+		for _, section := range []func(){table1, table2and3, figure1, figure2, scaling, metricQuality, ablation} {
+			if runCtx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "experiments: budget exhausted; remaining sections skipped")
+				return
+			}
+			section()
+		}
 		return
 	}
 	ran := false
@@ -135,36 +156,36 @@ func table2and3() {
 		r := row{name: cs.Name}
 
 		t0 := time.Now()
-		fres, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: n, PartitionsPerMetric: 2, Seed: *seed})
+		fres, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: n, PartitionsPerMetric: 2, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
 		r.flowCPU = time.Since(t0).Seconds()
 		r.flow = fres.Cost
 
-		rres, err := htp.RFM(h, spec, htp.RFMOptions{Seed: *seed})
+		rres, err := htp.RFMCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
 		r.rfm = rres.Cost
-		gres, err := htp.GFM(h, spec, htp.GFMOptions{Seed: *seed})
+		gres, err := htp.GFMCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
 		r.gfm = gres.Cost
 
 		// "+" variants refine fresh runs of the constructives.
-		fp, fi, err := htp.FlowPlus(h, spec, htp.FlowOptions{Iterations: n, PartitionsPerMetric: 2, Seed: *seed}, fm.RefineOptions{})
+		fp, fi, err := htp.FlowPlusCtx(runCtx, h, spec, htp.FlowOptions{Iterations: n, PartitionsPerMetric: 2, Seed: *seed}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
 		r.flowP, r.flowI = fp.Cost, improvement(fi, fp.Cost)
-		rp, ri, err := htp.RFMPlus(h, spec, htp.RFMOptions{Seed: *seed}, fm.RefineOptions{})
+		rp, ri, err := htp.RFMPlusCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
 		r.rfmP, r.rfmI = rp.Cost, improvement(ri, rp.Cost)
-		gp, gi, err := htp.GFMPlus(h, spec, htp.GFMOptions{Seed: *seed}, fm.RefineOptions{})
+		gp, gi, err := htp.GFMPlusCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
@@ -243,12 +264,12 @@ func figure2() {
 	} else {
 		fmt.Println("induced metric satisfies every spreading constraint (Lemma 1)")
 	}
-	lb, err := metric.ExactLowerBound(h, spec, 0)
+	lb, err := metric.ExactLowerBoundCtx(runCtx, h, spec, 0)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("exact LP lower bound (Lemma 2): %.2f (converged=%v)\n", lb.Value, lb.Converged)
-	res, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 8, Seed: *seed})
+	res, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 8, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -272,13 +293,13 @@ func scaling() {
 			fatal(err)
 		}
 		t0 := time.Now()
-		m, _, err := inject.ComputeMetric(h, spec, inject.Options{})
+		m, _, err := inject.ComputeMetricCtx(runCtx, h, spec, inject.Options{})
 		if err != nil {
 			fatal(err)
 		}
 		alg2 := time.Since(t0)
 		t0 = time.Now()
-		if _, err := htp.Build(h, spec, m.D, htp.BuildOptions{}); err != nil {
+		if _, err := htp.BuildCtx(runCtx, h, spec, m.D, htp.BuildOptions{}); err != nil {
 			fatal(err)
 		}
 		alg3 := time.Since(t0)
@@ -299,11 +320,11 @@ func metricQuality() {
 	for _, cs := range testCases()[:2] {
 		h := circuits.Generate(cs, *seed)
 		spec := specFor(h)
-		m, _, err := inject.ComputeMetric(h, spec, inject.Options{})
+		m, _, err := inject.ComputeMetricCtx(runCtx, h, spec, inject.Options{})
 		if err != nil {
 			fatal(err)
 		}
-		res, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
+		res, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
 			Build: htp.BuildOptions{PolishCuts: true}})
 		if err != nil {
 			fatal(err)
@@ -334,14 +355,14 @@ func ablation() {
 		run  func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64
 	}{
 		{"FLOW (defaults)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed})
+			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed})
 			if err != nil {
 				fatal(err)
 			}
 			return r.Cost
 		}},
 		{"coarse injection (Δ=0.5)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
+			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
 				Inject: inject.Options{Delta: 0.5, Alpha: 1}})
 			if err != nil {
 				fatal(err)
@@ -349,7 +370,7 @@ func ablation() {
 			return r.Cost
 		}},
 		{"single carve attempt", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
+			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
 				Build: htp.BuildOptions{CarveAttempts: 1}})
 			if err != nil {
 				fatal(err)
@@ -357,7 +378,7 @@ func ablation() {
 			return r.Cost
 		}},
 		{"fixed LB (paper literal)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
+			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
 				Build: htp.BuildOptions{FixedLB: true}})
 			if err != nil {
 				fatal(err)
@@ -365,7 +386,7 @@ func ablation() {
 			return r.Cost
 		}},
 		{"8 partitions per metric", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
+			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
 				PartitionsPerMetric: 8})
 			if err != nil {
 				fatal(err)
@@ -373,7 +394,7 @@ func ablation() {
 			return r.Cost
 		}},
 		{"polished cuts (§5 f.work)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.Flow(h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
+			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
 				Build: htp.BuildOptions{PolishCuts: true}})
 			if err != nil {
 				fatal(err)
@@ -399,6 +420,12 @@ func ablation() {
 }
 
 func fatal(err error) {
+	if runCtx.Err() != nil {
+		// The budget (or Ctrl-C) caused this; partial output already printed
+		// is valid, so leave with success.
+		fmt.Fprintln(os.Stderr, "experiments: interrupted:", err)
+		os.Exit(0)
+	}
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

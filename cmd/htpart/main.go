@@ -7,12 +7,20 @@
 //
 //	htpart -in circuit.net -algo flow -height 4 -wbase 2 -slack 1.1
 //	htpart -in circuit.net -algo rfm+ -seed 7 -print-tree
+//	htpart -in circuit.net -algo flow -timeout 50ms   # anytime: best-so-far
+//
+// With -timeout (or on Ctrl-C) the solvers stop at the deadline and print
+// the best valid partition found so far; the stop line reports why the run
+// ended (converged, max-rounds, deadline, cancelled). The exit status is 0
+// whenever a valid partition is printed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,12 +40,20 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		iters     = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
 		perMetric = flag.Int("per-metric", 1, "partitions constructed per spreading metric")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited (best-so-far on expiry)")
 		printTree = flag.Bool("print-tree", false, "print the partition tree")
 		levels    = flag.Bool("levels", false, "print per-level cost breakdown")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("need -in netlist"))
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
 	}
 	h, err := hypergraph.ReadFile(*in)
 	if err != nil {
@@ -62,9 +78,9 @@ func main() {
 	case "flow":
 		opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed}
 		if plus {
-			res, initial, err = htp.FlowPlus(h, spec, opt, fm.RefineOptions{})
+			res, initial, err = htp.FlowPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
-			res, err = htp.Flow(h, spec, opt)
+			res, err = htp.FlowCtx(ctx, h, spec, opt)
 			if res != nil {
 				initial = res.Cost
 			}
@@ -72,9 +88,9 @@ func main() {
 	case "rfm":
 		opt := htp.RFMOptions{Seed: *seed}
 		if plus {
-			res, initial, err = htp.RFMPlus(h, spec, opt, fm.RefineOptions{})
+			res, initial, err = htp.RFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
-			res, err = htp.RFM(h, spec, opt)
+			res, err = htp.RFMCtx(ctx, h, spec, opt)
 			if res != nil {
 				initial = res.Cost
 			}
@@ -82,9 +98,9 @@ func main() {
 	case "gfm":
 		opt := htp.GFMOptions{Seed: *seed}
 		if plus {
-			res, initial, err = htp.GFMPlus(h, spec, opt, fm.RefineOptions{})
+			res, initial, err = htp.GFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
-			res, err = htp.GFM(h, spec, opt)
+			res, err = htp.GFMCtx(ctx, h, spec, opt)
 			if res != nil {
 				initial = res.Cost
 			}
@@ -103,8 +119,16 @@ func main() {
 	fmt.Printf("algorithm: %s\n", *algo)
 	fmt.Printf("cost:      %.0f\n", res.Cost)
 	if plus {
-		fmt.Printf("initial:   %.0f (improvement %.1f%%)\n",
-			initial, 100*(initial-res.Cost)/initial)
+		if initial > 0 {
+			fmt.Printf("initial:   %.0f (improvement %.1f%%)\n",
+				initial, 100*(initial-res.Cost)/initial)
+		} else {
+			fmt.Printf("initial:   %.0f (improvement n/a)\n", initial)
+		}
+	}
+	fmt.Printf("stop:      %s\n", res.Stop)
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "htpart: iteration failure (best-so-far unaffected): %v\n", f)
 	}
 	fmt.Printf("cpu:       %.2fs\n", elapsed.Seconds())
 	if *levels {

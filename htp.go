@@ -21,6 +21,9 @@
 package repro
 
 import (
+	"context"
+
+	"repro/internal/anytime"
 	"repro/internal/circuits"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
@@ -30,6 +33,42 @@ import (
 	"repro/internal/metric"
 	"repro/internal/ratiocut"
 	"repro/internal/treemap"
+)
+
+// ---- Anytime contract (internal/anytime) ----
+//
+// Every solver has a *Ctx variant taking a context.Context. When the
+// context is cancelled or its deadline passes, iterative solvers return the
+// best valid partition found so far — Result.Stop records why the run
+// ended — and error (wrapping ErrNoPartition) only when nothing valid
+// exists yet. The context-free entry points delegate to
+// context.Background().
+
+// StopReason records why a solver run ended.
+type StopReason = anytime.Stop
+
+// Stop reasons reported in Result.Stop and friends.
+const (
+	// StopConverged: the run completed its full schedule.
+	StopConverged = anytime.StopConverged
+	// StopMaxRounds: an iteration cap ended the run before convergence.
+	StopMaxRounds = anytime.StopMaxRounds
+	// StopDeadline: the context deadline passed; the result is best-so-far.
+	StopDeadline = anytime.StopDeadline
+	// StopCancelled: the context was cancelled; the result is best-so-far.
+	StopCancelled = anytime.StopCancelled
+)
+
+// Sentinel errors classifying every failure mode; match with errors.Is.
+var (
+	// ErrInvalidSpec: the problem spec or input netlist is malformed.
+	ErrInvalidSpec = anytime.ErrInvalidSpec
+	// ErrOversizedNode: a single node exceeds the leaf capacity C_0.
+	ErrOversizedNode = anytime.ErrOversizedNode
+	// ErrInfeasible: no partition can satisfy the constraints.
+	ErrInfeasible = anytime.ErrInfeasible
+	// ErrNoPartition: the run ended before any valid partition existed.
+	ErrNoPartition = anytime.ErrNoPartition
 )
 
 // ---- Netlist model (internal/hypergraph) ----
@@ -111,10 +150,23 @@ func Flow(h *Hypergraph, spec Spec, opt FlowOptions) (*Result, error) {
 	return htp.Flow(h, spec, opt)
 }
 
+// FlowCtx is Flow under a context: on cancellation or deadline it returns
+// the best valid partition found so far with Result.Stop set, erroring
+// (wrapping ErrNoPartition) only when no iteration produced one.
+func FlowCtx(ctx context.Context, h *Hypergraph, spec Spec, opt FlowOptions) (*Result, error) {
+	return htp.FlowCtx(ctx, h, spec, opt)
+}
+
 // FlowPlus is Flow followed by FM refinement (the paper's FLOW+); it also
 // returns the pre-refinement cost.
 func FlowPlus(h *Hypergraph, spec Spec, opt FlowOptions, ref RefineOptions) (*Result, float64, error) {
 	return htp.FlowPlus(h, spec, opt, ref)
+}
+
+// FlowPlusCtx is FlowPlus under a context; an interrupted refinement keeps
+// the best cost reached.
+func FlowPlusCtx(ctx context.Context, h *Hypergraph, spec Spec, opt FlowOptions, ref RefineOptions) (*Result, float64, error) {
+	return htp.FlowPlusCtx(ctx, h, spec, opt, ref)
 }
 
 // RFM runs the top-down recursive FM baseline; RFMPlus adds refinement.
@@ -122,9 +174,19 @@ func RFM(h *Hypergraph, spec Spec, opt RFMOptions) (*Result, error) {
 	return htp.RFM(h, spec, opt)
 }
 
+// RFMCtx is RFM under a context.
+func RFMCtx(ctx context.Context, h *Hypergraph, spec Spec, opt RFMOptions) (*Result, error) {
+	return htp.RFMCtx(ctx, h, spec, opt)
+}
+
 // RFMPlus is RFM followed by FM refinement (RFM+).
 func RFMPlus(h *Hypergraph, spec Spec, opt RFMOptions, ref RefineOptions) (*Result, float64, error) {
 	return htp.RFMPlus(h, spec, opt, ref)
+}
+
+// RFMPlusCtx is RFMPlus under a context.
+func RFMPlusCtx(ctx context.Context, h *Hypergraph, spec Spec, opt RFMOptions, ref RefineOptions) (*Result, float64, error) {
+	return htp.RFMPlusCtx(ctx, h, spec, opt, ref)
 }
 
 // GFM runs the bottom-up grouping baseline; GFMPlus adds refinement.
@@ -132,15 +194,31 @@ func GFM(h *Hypergraph, spec Spec, opt GFMOptions) (*Result, error) {
 	return htp.GFM(h, spec, opt)
 }
 
+// GFMCtx is GFM under a context.
+func GFMCtx(ctx context.Context, h *Hypergraph, spec Spec, opt GFMOptions) (*Result, error) {
+	return htp.GFMCtx(ctx, h, spec, opt)
+}
+
 // GFMPlus is GFM followed by FM refinement (GFM+).
 func GFMPlus(h *Hypergraph, spec Spec, opt GFMOptions, ref RefineOptions) (*Result, float64, error) {
 	return htp.GFMPlus(h, spec, opt, ref)
+}
+
+// GFMPlusCtx is GFMPlus under a context.
+func GFMPlusCtx(ctx context.Context, h *Hypergraph, spec Spec, opt GFMOptions, ref RefineOptions) (*Result, float64, error) {
+	return htp.GFMPlusCtx(ctx, h, spec, opt, ref)
 }
 
 // Refine improves a partition in place by FM-style hierarchical moves and
 // returns the final cost and total improvement.
 func Refine(p *Partition, opt RefineOptions) (cost, improvement float64) {
 	return fm.RefineHierarchical(p, opt)
+}
+
+// RefineCtx is Refine under a context; cancellation stops the passes early
+// and returns the best cost reached (the partition stays valid throughout).
+func RefineCtx(ctx context.Context, p *Partition, opt RefineOptions) (cost, improvement float64) {
+	return fm.RefineHierarchicalCtx(ctx, p, opt)
 }
 
 // ---- Spreading metrics and bounds (internal/metric, internal/inject) ----
@@ -160,6 +238,14 @@ func ComputeSpreadingMetric(h *Hypergraph, spec Spec, opt InjectOptions) (*Sprea
 	return inject.ComputeMetric(h, spec, opt)
 }
 
+// ComputeSpreadingMetricCtx is ComputeSpreadingMetric under a context. On
+// cancellation it returns the partial metric computed so far (any
+// intermediate length assignment is a usable construction guide) together
+// with a non-nil error wrapping the context cause.
+func ComputeSpreadingMetricCtx(ctx context.Context, h *Hypergraph, spec Spec, opt InjectOptions) (*SpreadingMetric, InjectStats, error) {
+	return inject.ComputeMetricCtx(ctx, h, spec, opt)
+}
+
 // CheckSpreadingMetric verifies the spreading constraints; nil means
 // feasible.
 func CheckSpreadingMetric(m *SpreadingMetric, spec Spec) *metric.Violation {
@@ -177,6 +263,13 @@ type LowerBoundResult = metric.LowerBoundResult
 // cutting planes (Lemma 2) — small instances only.
 func ExactLowerBound(h *Hypergraph, spec Spec, maxRounds int) (*LowerBoundResult, error) {
 	return metric.ExactLowerBound(h, spec, maxRounds)
+}
+
+// ExactLowerBoundCtx is ExactLowerBound under a context. Every relaxation
+// optimum already lower-bounds the LP, so cancellation is not an error: the
+// result carries the best bound proven so far with Stop set.
+func ExactLowerBoundCtx(ctx context.Context, h *Hypergraph, spec Spec, maxRounds int) (*LowerBoundResult, error) {
+	return metric.ExactLowerBoundCtx(ctx, h, spec, maxRounds)
 }
 
 // BruteForce finds a cost-optimal partition exhaustively — a test oracle
@@ -227,6 +320,13 @@ func RatioCut(h *Hypergraph, opt RatioCutOptions) *RatioCutResult {
 	return ratiocut.Bipartition(h, opt)
 }
 
+// RatioCutCtx is RatioCut under a context; cancellation shortens the
+// injection and sweep schedules but the result always has two non-empty
+// sides.
+func RatioCutCtx(ctx context.Context, h *Hypergraph, opt RatioCutOptions) *RatioCutResult {
+	return ratiocut.BipartitionCtx(ctx, h, opt)
+}
+
 // HostTree is a fixed host tree for Vijayan-style min-cost tree
 // partitioning (paper ref [16]): every vertex can hold logic up to its
 // capacity, and nets pay the weight of the minimal spanning subtree of
@@ -246,4 +346,11 @@ type TreeMapOptions = treemap.Options
 // routing cost subject to vertex capacities.
 func MapOntoTree(h *Hypergraph, t *HostTree, opt TreeMapOptions) (*TreeMapping, error) {
 	return treemap.Map(h, t, opt)
+}
+
+// MapOntoTreeCtx is MapOntoTree under a context: cancellation during the
+// recursive assignment errors (wrapping ErrNoPartition); cancellation
+// during improvement returns the current valid mapping.
+func MapOntoTreeCtx(ctx context.Context, h *Hypergraph, t *HostTree, opt TreeMapOptions) (*TreeMapping, error) {
+	return treemap.MapCtx(ctx, h, t, opt)
 }

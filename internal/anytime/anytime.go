@@ -1,0 +1,73 @@
+// Package anytime defines the cross-cutting vocabulary of the anytime
+// solver contract shared by every algorithm in this repository: stop
+// reasons reported alongside best-so-far results, and the structured error
+// taxonomy used when no result exists at all.
+//
+// The solvers (FLOW, RFM, GFM, refinement, the LP lower bound, ratio cuts,
+// tree mapping) are iterative heuristics for an NP-hard problem; their
+// useful property is the best result found so far. The contract is:
+//
+//   - Cancellation and deadlines (context.Context) stop a run early and
+//     return the best valid result found so far, with the stop reason
+//     recorded, instead of an error.
+//   - An error is returned only when nothing valid exists yet; such errors
+//     wrap one of the exported sentinels so callers can classify them with
+//     errors.Is, and wrap the context cause so errors.Is(err,
+//     context.DeadlineExceeded) etc. also work.
+package anytime
+
+import (
+	"context"
+	"errors"
+)
+
+// Stop classifies why a solver run ended. The zero value "" means the run
+// has no recorded stop reason (e.g. a pre-contract code path).
+type Stop string
+
+const (
+	// StopConverged: the run completed its schedule normally (and, where a
+	// convergence notion exists, converged).
+	StopConverged Stop = "converged"
+	// StopMaxRounds: the run completed but an internal round/pass budget
+	// (e.g. Algorithm 2's MaxRounds) expired before convergence.
+	StopMaxRounds Stop = "max-rounds"
+	// StopDeadline: a context deadline expired; the result is the best
+	// found before the deadline.
+	StopDeadline Stop = "deadline"
+	// StopCancelled: the context was cancelled; the result is the best
+	// found before cancellation.
+	StopCancelled Stop = "cancelled"
+)
+
+// FromContext maps a done context to its stop reason: StopDeadline if the
+// cause is a deadline, StopCancelled for any other cancellation, and "" if
+// the context is still live.
+func FromContext(ctx context.Context) Stop {
+	if ctx.Err() == nil {
+		return ""
+	}
+	if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		return StopDeadline
+	}
+	return StopCancelled
+}
+
+// The error taxonomy. Every error returned by the solver stack wraps
+// exactly one of these sentinels (plus, for interrupted runs, the context
+// cause), so callers classify failures with errors.Is instead of string
+// matching.
+var (
+	// ErrInvalidSpec: the problem specification or inputs are structurally
+	// invalid (bad Spec slices, empty hypergraph, mismatched lengths).
+	ErrInvalidSpec = errors.New("invalid problem spec")
+	// ErrOversizedNode: a netlist node exceeds the leaf capacity C_0, so no
+	// feasible partition or spreading metric exists.
+	ErrOversizedNode = errors.New("node exceeds leaf capacity C_0")
+	// ErrInfeasible: the instance admits no feasible solution under the
+	// given resource bounds (capacities, host-tree sizes).
+	ErrInfeasible = errors.New("infeasible instance")
+	// ErrNoPartition: the run ended (error, cancellation, or exhaustion)
+	// before any valid partition was constructed.
+	ErrNoPartition = errors.New("no valid partition constructed")
+)

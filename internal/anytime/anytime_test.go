@@ -1,0 +1,66 @@
+package anytime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFromContextLive(t *testing.T) {
+	if s := FromContext(context.Background()); s != "" {
+		t.Fatalf("live context mapped to %q, want \"\"", s)
+	}
+}
+
+func TestFromContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if s := FromContext(ctx); s != StopCancelled {
+		t.Fatalf("cancelled context mapped to %q", s)
+	}
+}
+
+func TestFromContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if s := FromContext(ctx); s != StopDeadline {
+		t.Fatalf("deadline context mapped to %q", s)
+	}
+}
+
+func TestFromContextDeadlineThroughChild(t *testing.T) {
+	// A child cancel context of a deadline parent still reports deadline.
+	parent, cancel1 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel1()
+	ctx, cancel2 := context.WithCancel(parent)
+	defer cancel2()
+	<-ctx.Done()
+	if s := FromContext(ctx); s != StopDeadline {
+		t.Fatalf("child of deadline context mapped to %q", s)
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	sentinels := []error{ErrInvalidSpec, ErrOversizedNode, ErrInfeasible, ErrNoPartition}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("sentinel identity broken between %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestSentinelsSurviveWrapping(t *testing.T) {
+	err := fmt.Errorf("htp: node 3 size 9 exceeds C_0 = 4: %w", ErrOversizedNode)
+	if !errors.Is(err, ErrOversizedNode) {
+		t.Fatal("wrapped sentinel not recognized by errors.Is")
+	}
+	joined := errors.Join(ErrNoPartition, context.DeadlineExceeded)
+	if !errors.Is(joined, ErrNoPartition) || !errors.Is(joined, context.DeadlineExceeded) {
+		t.Fatal("joined sentinel + cause not recognized by errors.Is")
+	}
+}

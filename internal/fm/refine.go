@@ -1,6 +1,7 @@
 package fm
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/hierarchy"
@@ -34,7 +35,17 @@ func (o RefineOptions) withDefaults() RefineOptions {
 // Passes repeat until one yields no improvement or MaxPasses is reached.
 //
 // Returns the final cost and the total improvement (initial − final >= 0).
+// It is RefineHierarchicalCtx without cancellation.
 func RefineHierarchical(p *hierarchy.Partition, opt RefineOptions) (cost, improvement float64) {
+	return RefineHierarchicalCtx(context.Background(), p, opt)
+}
+
+// RefineHierarchicalCtx is RefineHierarchical under a context, checked on
+// every pass and periodically within a pass. Refinement mutates the
+// partition in place and every intermediate state is valid and no worse
+// than the previous one, so cancellation simply stops early and returns
+// the best cost reached — a pure anytime improver.
+func RefineHierarchicalCtx(ctx context.Context, p *hierarchy.Partition, opt RefineOptions) (cost, improvement float64) {
 	opt = opt.withDefaults()
 	cs := hierarchy.NewCostState(p)
 	initial := cs.Cost()
@@ -47,10 +58,13 @@ func RefineHierarchical(p *hierarchy.Partition, opt RefineOptions) (cost, improv
 	// Candidate-leaf scratch, deduplicated with a generation stamp.
 	seen := make(map[int32]bool, 16)
 
-	for pass := 0; pass < opt.MaxPasses; pass++ {
+	for pass := 0; pass < opt.MaxPasses && ctx.Err() == nil; pass++ {
 		improved := false
 		opt.Rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, vi := range order {
+		for oi, vi := range order {
+			if oi&255 == 255 && ctx.Err() != nil {
+				return cs.Cost(), initial - cs.Cost()
+			}
 			v := hypergraph.NodeID(vi)
 			from := p.LeafOf[v]
 			clear(seen)

@@ -9,6 +9,8 @@ package hierarchy
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/anytime"
 )
 
 // Spec holds the HTP parameters for a hierarchy of height L = len(Capacity):
@@ -32,29 +34,30 @@ func (s Spec) Height() int { return len(s.Capacity) }
 
 // Validate checks structural sanity: equal lengths, positive capacities
 // non-decreasing with level, non-negative weights, and branch bounds >= 2
-// (a vertex limited to one child could never partition anything).
+// (a vertex limited to one child could never partition anything). Failures
+// wrap anytime.ErrInvalidSpec.
 func (s Spec) Validate() error {
 	l := len(s.Capacity)
 	if l == 0 {
-		return fmt.Errorf("hierarchy: empty spec")
+		return fmt.Errorf("hierarchy: empty spec: %w", anytime.ErrInvalidSpec)
 	}
 	if len(s.Weight) != l || len(s.Branch) != l {
-		return fmt.Errorf("hierarchy: spec slice lengths differ: cap=%d weight=%d branch=%d",
-			l, len(s.Weight), len(s.Branch))
+		return fmt.Errorf("hierarchy: spec slice lengths differ: cap=%d weight=%d branch=%d: %w",
+			l, len(s.Weight), len(s.Branch), anytime.ErrInvalidSpec)
 	}
 	for i := 0; i < l; i++ {
 		if s.Capacity[i] <= 0 {
-			return fmt.Errorf("hierarchy: C_%d = %d must be positive", i, s.Capacity[i])
+			return fmt.Errorf("hierarchy: C_%d = %d must be positive: %w", i, s.Capacity[i], anytime.ErrInvalidSpec)
 		}
 		if i > 0 && s.Capacity[i] < s.Capacity[i-1] {
-			return fmt.Errorf("hierarchy: C_%d = %d < C_%d = %d; capacities must be non-decreasing",
-				i, s.Capacity[i], i-1, s.Capacity[i-1])
+			return fmt.Errorf("hierarchy: C_%d = %d < C_%d = %d; capacities must be non-decreasing: %w",
+				i, s.Capacity[i], i-1, s.Capacity[i-1], anytime.ErrInvalidSpec)
 		}
 		if s.Weight[i] < 0 {
-			return fmt.Errorf("hierarchy: w_%d = %g must be non-negative", i, s.Weight[i])
+			return fmt.Errorf("hierarchy: w_%d = %g must be non-negative: %w", i, s.Weight[i], anytime.ErrInvalidSpec)
 		}
 		if s.Branch[i] < 2 {
-			return fmt.Errorf("hierarchy: K_%d = %d must be at least 2", i+1, s.Branch[i])
+			return fmt.Errorf("hierarchy: K_%d = %d must be at least 2: %w", i+1, s.Branch[i], anytime.ErrInvalidSpec)
 		}
 	}
 	return nil
@@ -107,13 +110,13 @@ func (s Spec) MaxCost(totalNetCapacity float64, maxSpan int) float64 {
 // ~10% slack). Weights are supplied per level, len(weights) == height.
 func BinaryTreeSpec(totalSize int64, height int, weights []float64, slack float64) (Spec, error) {
 	if height < 1 {
-		return Spec{}, fmt.Errorf("hierarchy: height %d < 1", height)
+		return Spec{}, fmt.Errorf("hierarchy: height %d < 1: %w", height, anytime.ErrInvalidSpec)
 	}
 	if len(weights) != height {
-		return Spec{}, fmt.Errorf("hierarchy: %d weights for height %d", len(weights), height)
+		return Spec{}, fmt.Errorf("hierarchy: %d weights for height %d: %w", len(weights), height, anytime.ErrInvalidSpec)
 	}
 	if slack < 1.0 {
-		return Spec{}, fmt.Errorf("hierarchy: slack %g < 1", slack)
+		return Spec{}, fmt.Errorf("hierarchy: slack %g < 1: %w", slack, anytime.ErrInvalidSpec)
 	}
 	s := Spec{
 		Capacity: make([]int64, height),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/anytime"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
 )
@@ -19,7 +20,7 @@ func BruteForce(h *hypergraph.Hypergraph, spec hierarchy.Spec) (*hierarchy.Parti
 	}
 	n := h.NumNodes()
 	if n == 0 {
-		return nil, 0, fmt.Errorf("htp: empty hypergraph")
+		return nil, 0, fmt.Errorf("htp: empty hypergraph: %w", anytime.ErrInvalidSpec)
 	}
 	top := spec.TopLevel(h.TotalSize())
 	tree := hierarchy.NewTree(top)
@@ -78,7 +79,7 @@ func BruteForce(h *hypergraph.Hypergraph, spec hierarchy.Spec) (*hierarchy.Parti
 	}
 	assign(0)
 	if bestLeaf == nil {
-		return nil, 0, fmt.Errorf("htp: no feasible assignment")
+		return nil, 0, fmt.Errorf("htp: no feasible assignment: %w", anytime.ErrInfeasible)
 	}
 	copy(p.LeafOf, bestLeaf)
 	return p, bestCost, nil

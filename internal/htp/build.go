@@ -1,9 +1,12 @@
 package htp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
@@ -63,20 +66,29 @@ func (o BuildOptions) withDefaults() BuildOptions {
 // is recursed on one level down. Pieces that already fit lower levels grow
 // single-child chains, keeping all leaves at level 0.
 func Build(h *hypergraph.Hypergraph, spec hierarchy.Spec, d []float64, opt BuildOptions) (*hierarchy.Partition, error) {
+	return BuildCtx(context.Background(), h, spec, d, opt)
+}
+
+// BuildCtx is Build under a context, checked at every recursion vertex and
+// carve attempt. A half-built partition is not a valid one, so on
+// cancellation BuildCtx returns an error wrapping anytime.ErrNoPartition
+// and the context cause; FlowCtx treats that as "stop now, keep the best
+// earlier construction".
+func BuildCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, d []float64, opt BuildOptions) (*hierarchy.Partition, error) {
 	opt = opt.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if len(d) != h.NumNets() {
-		return nil, fmt.Errorf("htp: %d lengths for %d nets", len(d), h.NumNets())
+		return nil, fmt.Errorf("htp: %d lengths for %d nets: %w", len(d), h.NumNets(), anytime.ErrInvalidSpec)
 	}
 	if h.NumNodes() == 0 {
-		return nil, fmt.Errorf("htp: empty hypergraph")
+		return nil, fmt.Errorf("htp: empty hypergraph: %w", anytime.ErrInvalidSpec)
 	}
 	for v := 0; v < h.NumNodes(); v++ {
 		if h.NodeSize(hypergraph.NodeID(v)) > spec.Capacity[0] {
-			return nil, fmt.Errorf("htp: node %d size %d exceeds C_0 = %d",
-				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0])
+			return nil, fmt.Errorf("htp: node %d size %d exceeds C_0 = %d: %w",
+				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0], anytime.ErrOversizedNode)
 		}
 	}
 
@@ -88,28 +100,43 @@ func Build(h *hypergraph.Hypergraph, spec hierarchy.Spec, d []float64, opt Build
 	for i := range all {
 		all[i] = hypergraph.NodeID(i)
 	}
-	b := &builder{p: p, spec: spec, opt: opt}
-	b.place(tree.Root(), h, all, d)
+	b := &builder{ctx: ctx, p: p, spec: spec, opt: opt}
+	if err := b.place(tree.Root(), h, all, d); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
 type builder struct {
+	ctx  context.Context
 	p    *hierarchy.Partition
 	spec hierarchy.Spec
 	opt  BuildOptions
 }
 
+// interrupted reports the context error to surface, nil while live.
+func (b *builder) interrupted() error {
+	if b.ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("htp: construction interrupted: %w",
+		errors.Join(anytime.ErrNoPartition, context.Cause(b.ctx)))
+}
+
 // place assigns the node set held by sub to tree vertex q, carving children
 // recursively. sub's node v is orig[v] in the root hypergraph; d[e] is the
 // metric length of sub's net e.
-func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, d []float64) {
+func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, d []float64) error {
+	if err := b.interrupted(); err != nil {
+		return err
+	}
 	tree := b.p.Tree
 	level := tree.Level(q)
 	if level == 0 {
 		for _, v := range orig {
 			b.p.Assign(v, q)
 		}
-		return
+		return nil
 	}
 	k := b.spec.Branch[level-1]
 	ub := b.spec.Capacity[level-1]
@@ -142,7 +169,9 @@ func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.Nod
 		}
 		pieceSub, _, pieceNets := remaining.InducedSubgraph(piece)
 		pieceD := project(remD, pieceNets)
-		b.place(child, pieceSub, pieceOrig, pieceD)
+		if err := b.place(child, pieceSub, pieceOrig, pieceD); err != nil {
+			return err
+		}
 
 		if len(piece) == remaining.NumNodes() {
 			break
@@ -164,6 +193,7 @@ func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.Nod
 		remD = project(remD, keepNets)
 		remOrig = keepOrig
 	}
+	return nil
 }
 
 // carve runs the cut engine CarveAttempts times and returns the piece with
@@ -173,6 +203,11 @@ func (b *builder) carve(sub *hypergraph.Hypergraph, d []float64, lb, ub int64) [
 	bestCut := 0.0
 	in := make([]bool, sub.NumNodes())
 	for attempt := 0; attempt < b.opt.CarveAttempts; attempt++ {
+		// The first attempt always runs (a carve must produce something for
+		// the recursion to report on); extras are skipped once ctx fires.
+		if attempt > 0 && b.ctx.Err() != nil {
+			break
+		}
 		piece := b.opt.Engine(sub, d, lb, ub, b.opt.Rng)
 		for i := range in {
 			in[i] = false

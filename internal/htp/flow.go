@@ -1,10 +1,14 @@
 package htp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 
+	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
@@ -17,8 +21,17 @@ type Result struct {
 	Cost      float64
 	// Iterations actually executed (Algorithm 1's N, or FM passes etc.).
 	Iterations int
+	// Stop records why the run ended: StopConverged for a full normal run,
+	// StopMaxRounds when an internal round budget expired, StopDeadline /
+	// StopCancelled when the context fired and Partition is the best found
+	// so far.
+	Stop anytime.Stop
+	// Failures collects contained per-iteration errors (failed
+	// constructions, recovered panics with their stacks) from iterations
+	// whose siblings still produced the result. Empty on a clean run.
+	Failures []error
 	// MetricStats aggregates the flow-injection work over all iterations
-	// (FLOW only).
+	// (FLOW only). Converged is the AND across iterations.
 	MetricStats inject.Stats
 }
 
@@ -58,13 +71,50 @@ func (o FlowOptions) withDefaults() FlowOptions {
 	return o
 }
 
+// flowIterFault is a test-only fault-injection seam: when non-nil it is
+// invoked at the top of every iteration (inside the panic-recovery scope)
+// and may panic to simulate a crashed iteration. Never set outside tests.
+var flowIterFault func(iter int)
+
+// flowIterOut carries one Flow iteration's results to the aggregation step.
+type flowIterOut struct {
+	partition *hierarchy.Partition
+	cost      float64
+	stats     inject.Stats
+	ranMetric bool  // stats are meaningful (possibly partial)
+	injectErr error // fatal: bad spec / oversized nodes
+	buildErr  error // per-construction; other constructions may succeed
+	panicErr  error // recovered panic, with stack
+}
+
 // Flow runs Algorithm 1: N times, compute a spreading metric by stochastic
 // flow injection (Algorithm 2) and construct a hierarchical tree partition
 // from it (Algorithm 3); output the best valid partition found. With
 // opt.Parallel the iterations run concurrently and produce the same result
 // as the sequential schedule (per-iteration seeds are pre-drawn in order).
+// It is FlowCtx without cancellation.
 func Flow(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions) (*Result, error) {
+	return FlowCtx(context.Background(), h, spec, opt)
+}
+
+// FlowCtx is Flow under a context, making Algorithm 1 an anytime engine:
+//
+//   - A context that is already done returns promptly with an error
+//     wrapping anytime.ErrNoPartition and the context cause.
+//   - When the context fires mid-run, the best valid partition found so far
+//     is returned with Result.Stop set to StopDeadline or StopCancelled.
+//     The metric computation dominates the run time while construction is
+//     cheap and bounded, so an iteration interrupted mid-metric salvages
+//     one construction from its partial metric — even a very short deadline
+//     yields a valid (if unpolished) partition.
+//   - A panic inside one iteration is contained: it becomes an error (with
+//     stack) in Result.Failures and sibling iterations still win. Only if
+//     every iteration fails does FlowCtx return an error.
+func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions) (*Result, error) {
 	opt = opt.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("htp: flow not started: %w", errors.Join(anytime.ErrNoPartition, context.Cause(ctx)))
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	type iterSeeds struct {
@@ -80,29 +130,55 @@ func Flow(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions) (*Resu
 		}
 	}
 
-	type iterOut struct {
-		partition *hierarchy.Partition
-		cost      float64
-		stats     inject.Stats
-		injectErr error // fatal: bad spec / oversized nodes
-		buildErr  error // per-construction; other constructions may succeed
-	}
-	outs := make([]iterOut, opt.Iterations)
+	outs := make([]flowIterOut, opt.Iterations)
 
 	runIter := func(i int) {
 		out := &outs[i]
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicErr = fmt.Errorf("htp: flow iteration %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		if flowIterFault != nil {
+			flowIterFault(i)
+		}
+		if ctx.Err() != nil {
+			return // cancelled before this iteration started
+		}
 		injOpt := opt.Inject
 		injOpt.Rng = rand.New(rand.NewSource(seeds[i].inject))
-		m, st, err := inject.ComputeMetric(h, spec, injOpt)
+		m, st, err := inject.ComputeMetricCtx(ctx, h, spec, injOpt)
+		if m != nil {
+			out.stats, out.ranMetric = st, true
+		}
 		if err != nil {
+			if ctx.Err() != nil && m != nil {
+				// Interrupted mid-metric: salvage one construction from the
+				// partial metric. Construction is cheap next to the metric
+				// (paper §3.3), so this runs to completion regardless of the
+				// context and turns the work already sunk into a valid
+				// best-so-far candidate.
+				salvageBuild(out, h, spec, m.D, opt.Build, seeds[i].builds[0])
+				return
+			}
 			out.injectErr = err
 			return
 		}
-		out.stats = st
 		for c := 0; c < opt.PartitionsPerMetric; c++ {
+			// The first construction always completes (bounded and cheap);
+			// extra constructions and interrupted iterations honor ctx. This
+			// guarantees every iteration that finished its metric yields a
+			// candidate even when the deadline lands between metric and
+			// build.
+			buildCtx := ctx
+			if c == 0 {
+				buildCtx = context.Background()
+			} else if ctx.Err() != nil {
+				return
+			}
 			bOpt := opt.Build
 			bOpt.Rng = rand.New(rand.NewSource(seeds[i].builds[c]))
-			p, err := Build(h, spec, m.D, bOpt)
+			p, err := BuildCtx(buildCtx, h, spec, m.D, bOpt)
 			if err != nil {
 				if out.buildErr == nil {
 					out.buildErr = err
@@ -133,46 +209,104 @@ func Flow(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions) (*Resu
 		wg.Wait()
 	} else {
 		for i := 0; i < opt.Iterations; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			runIter(i)
 		}
 	}
 
 	best := &Result{Iterations: opt.Iterations}
+	converged := true
 	var firstErr error
 	for i := range outs {
 		if err := outs[i].injectErr; err != nil {
+			// Fatal for the whole run: a bad spec or oversized node fails
+			// every iteration identically.
 			return nil, err
 		}
-		if err := outs[i].buildErr; err != nil && firstErr == nil {
-			firstErr = err
+		if err := outs[i].panicErr; err != nil {
+			best.Failures = append(best.Failures, err)
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
-		st := outs[i].stats
-		best.MetricStats.Rounds += st.Rounds
-		best.MetricStats.Injections += st.Injections
-		best.MetricStats.TreeNets += st.TreeNets
-		best.MetricStats.Converged = st.Converged
-		if st.MaxFlow > best.MetricStats.MaxFlow {
-			best.MetricStats.MaxFlow = st.MaxFlow
+		if err := outs[i].buildErr; err != nil {
+			best.Failures = append(best.Failures, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if outs[i].ranMetric {
+			st := outs[i].stats
+			best.MetricStats.Rounds += st.Rounds
+			best.MetricStats.Injections += st.Injections
+			best.MetricStats.TreeNets += st.TreeNets
+			// The AND across iterations: one unconverged metric marks the
+			// whole run (iterations that never ran — cancelled or crashed
+			// before producing stats — are excluded).
+			converged = converged && st.Converged
+			if st.MaxFlow > best.MetricStats.MaxFlow {
+				best.MetricStats.MaxFlow = st.MaxFlow
+			}
 		}
 		if outs[i].partition != nil && (best.Partition == nil || outs[i].cost < best.Cost) {
 			best.Partition = outs[i].partition
 			best.Cost = outs[i].cost
 		}
 	}
+	best.MetricStats.Converged = converged
+
 	if best.Partition == nil {
+		join := []error{anytime.ErrNoPartition}
 		if firstErr != nil {
-			return nil, firstErr
+			join = append(join, firstErr)
 		}
-		return nil, fmt.Errorf("htp: no valid partition constructed")
+		if ctx.Err() != nil {
+			join = append(join, context.Cause(ctx))
+		}
+		return nil, fmt.Errorf("htp: %w", errors.Join(join...))
+	}
+	switch {
+	case ctx.Err() != nil:
+		best.Stop = anytime.FromContext(ctx)
+	case !converged:
+		best.Stop = anytime.StopMaxRounds
+	default:
+		best.Stop = anytime.StopConverged
 	}
 	return best, nil
+}
+
+// salvageBuild runs one construction from a (possibly partial) metric under
+// no context, recording the result on out. Panics propagate to runIter's
+// recovery.
+func salvageBuild(out *flowIterOut, h *hypergraph.Hypergraph, spec hierarchy.Spec, d []float64, bOpt BuildOptions, seed int64) {
+	bOpt.Rng = rand.New(rand.NewSource(seed))
+	p, err := BuildCtx(context.Background(), h, spec, d, bOpt)
+	if err != nil {
+		out.buildErr = err
+		return
+	}
+	if err := p.Validate(); err != nil {
+		out.buildErr = fmt.Errorf("htp: constructed partition invalid: %w", err)
+		return
+	}
+	out.partition, out.cost = p, p.Cost()
 }
 
 // FlowPlus runs Flow and then the FM-based hierarchical refinement of [9]
 // (the paper's FLOW+). It returns the refined result plus the pre-refinement
 // cost for improvement reporting.
 func FlowPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions, ref fm.RefineOptions) (*Result, float64, error) {
-	res, err := Flow(h, spec, opt)
+	return FlowPlusCtx(context.Background(), h, spec, opt, ref)
+}
+
+// FlowPlusCtx is FlowPlus under a context. Refinement is itself anytime —
+// it improves the partition in place and every intermediate state is valid
+// — so an interrupted refinement simply returns the best cost reached.
+func FlowPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	res, err := FlowCtx(ctx, h, spec, opt)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -180,7 +314,10 @@ func FlowPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions, re
 	if ref.Rng == nil {
 		ref.Rng = rand.New(rand.NewSource(opt.withDefaults().Seed + 7))
 	}
-	cost, _ := fm.RefineHierarchical(res.Partition, ref)
+	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost
+	if stop := anytime.FromContext(ctx); stop != "" {
+		res.Stop = stop
+	}
 	return res, initial, nil
 }

@@ -1,9 +1,12 @@
 package htp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
@@ -34,6 +37,14 @@ type gfmGroup struct {
 // optimizes one level at a time with no view of the weighted hierarchical
 // cost — the contrast the paper draws in §4.
 func GFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result, error) {
+	return GFMCtx(context.Background(), h, spec, opt)
+}
+
+// GFMCtx is GFM under a context, checked between bisection, consolidation,
+// and every merge step. Like RFM, GFM builds exactly one partition;
+// cancellation before it exists returns an error wrapping
+// anytime.ErrNoPartition and the context cause.
+func GFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,6 +65,9 @@ func GFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result
 		targets[l] = targets[l+1] * spec.Branch[l]
 	}
 
+	if err := gfmInterrupted(ctx); err != nil {
+		return nil, err
+	}
 	blockOf, numBlocks := fm.RecursiveBisection(h, spec.Capacity[0], fmOpt)
 	level0 := make([]gfmGroup, numBlocks)
 	for v := 0; v < h.NumNodes(); v++ {
@@ -68,8 +82,12 @@ func GFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result
 	// Bisection may leave more level-0 blocks than the tree has leaves;
 	// consolidate under C_0 (children counts do not apply to leaf blocks).
 	if top >= 1 {
-		level0, groupOf = greedyMerge(h, level0, groupOf, targets[0],
+		var err error
+		level0, groupOf, err = greedyMerge(ctx, h, level0, groupOf, targets[0],
 			func(a, b gfmGroup) bool { return a.size+b.size <= spec.Capacity[0] }, true)
+		if err != nil {
+			return nil, err
+		}
 	}
 	levels := [][]gfmGroup{level0}
 
@@ -83,11 +101,15 @@ func GFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result
 		for i := range prev {
 			cur[i] = gfmGroup{members: []int{i}, size: prev[i].size, children: 1}
 		}
-		cur, groupOf = greedyMerge(h, cur, lifted, targets[l],
+		var err error
+		cur, groupOf, err = greedyMerge(ctx, h, cur, lifted, targets[l],
 			func(a, b gfmGroup) bool {
 				return a.children+b.children <= spec.Branch[l-1] &&
 					a.size+b.size <= spec.Capacity[l]
 			}, false)
+		if err != nil {
+			return nil, err
+		}
 		levels = append(levels, cur)
 	}
 
@@ -117,9 +139,19 @@ func GFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result
 		}
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("htp: GFM partition invalid: %w", err)
+		return nil, fmt.Errorf("htp: GFM partition invalid: %w",
+			errors.Join(anytime.ErrNoPartition, err))
 	}
-	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1}, nil
+	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1, Stop: anytime.StopConverged}, nil
+}
+
+// gfmInterrupted reports the context error to surface, nil while live.
+func gfmInterrupted(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("htp: GFM interrupted: %w",
+		errors.Join(anytime.ErrNoPartition, context.Cause(ctx)))
 }
 
 // greedyMerge merges groups until at most target remain, always choosing
@@ -130,8 +162,8 @@ func GFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions) (*Result
 // child lists. Returns the compacted groups and updated groupOf. If no
 // feasible merge exists the loop stops early (validation downstream
 // reports the shortfall).
-func greedyMerge(h *hypergraph.Hypergraph, groups []gfmGroup, groupOf []int, target int,
-	feasible func(a, b gfmGroup) bool, mergeMembers bool) ([]gfmGroup, []int) {
+func greedyMerge(ctx context.Context, h *hypergraph.Hypergraph, groups []gfmGroup, groupOf []int, target int,
+	feasible func(a, b gfmGroup) bool, mergeMembers bool) ([]gfmGroup, []int, error) {
 	dead := make([]bool, len(groups))
 	alive := len(groups)
 	parent := make([]int, len(groups))
@@ -147,6 +179,9 @@ func greedyMerge(h *hypergraph.Hypergraph, groups []gfmGroup, groupOf []int, tar
 	}
 
 	for alive > target {
+		if err := gfmInterrupted(ctx); err != nil {
+			return nil, nil, err
+		}
 		// Connectivity between live groups.
 		conn := map[[2]int]float64{}
 		for e := 0; e < h.NumNets(); e++ {
@@ -230,12 +265,18 @@ func greedyMerge(h *hypergraph.Hypergraph, groups []gfmGroup, groupOf []int, tar
 	for v := range groupOf {
 		newGroupOf[v] = remap[find(groupOf[v])]
 	}
-	return out, newGroupOf
+	return out, newGroupOf, nil
 }
 
 // GFMPlus is GFM followed by the hierarchical FM refinement (GFM+).
 func GFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
-	res, err := GFM(h, spec, opt)
+	return GFMPlusCtx(context.Background(), h, spec, opt, ref)
+}
+
+// GFMPlusCtx is GFMPlus under a context; an interrupted refinement returns
+// the best cost reached (every intermediate refinement state is valid).
+func GFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	res, err := GFMCtx(ctx, h, spec, opt)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -243,7 +284,10 @@ func GFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref 
 	if ref.Rng == nil {
 		ref.Rng = rand.New(rand.NewSource(opt.Seed + 7))
 	}
-	cost, _ := fm.RefineHierarchical(res.Partition, ref)
+	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost
+	if stop := anytime.FromContext(ctx); stop != "" {
+		res.Stop = stop
+	}
 	return res, initial, nil
 }

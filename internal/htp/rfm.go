@@ -1,9 +1,12 @@
 package htp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
@@ -26,6 +29,14 @@ type RFMOptions struct {
 // without the global (all-levels) view the metric provides — exactly the
 // contrast the paper draws in §4.
 func RFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions) (*Result, error) {
+	return RFMCtx(context.Background(), h, spec, opt)
+}
+
+// RFMCtx is RFM under a context. Unlike FLOW, RFM builds exactly one
+// partition, so there is no best-so-far to fall back on: cancellation
+// mid-construction returns an error wrapping anytime.ErrNoPartition and
+// the context cause.
+func RFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions) (*Result, error) {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
@@ -34,7 +45,7 @@ func RFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions) (*Result
 		return fmCarve(sub, lb, ub, opt.FM, rng)
 	}
 	d := make([]float64, h.NumNets()) // unused by the FM engine
-	p, err := Build(h, spec, d, BuildOptions{
+	p, err := BuildCtx(ctx, h, spec, d, BuildOptions{
 		Rng:           rng,
 		FixedLB:       opt.FixedLB,
 		Engine:        engine,
@@ -44,14 +55,21 @@ func RFM(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions) (*Result
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("htp: RFM partition invalid: %w", err)
+		return nil, fmt.Errorf("htp: RFM partition invalid: %w",
+			errors.Join(anytime.ErrNoPartition, err))
 	}
-	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1}, nil
+	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1, Stop: anytime.StopConverged}, nil
 }
 
 // RFMPlus is RFM followed by the hierarchical FM refinement (RFM+).
 func RFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
-	res, err := RFM(h, spec, opt)
+	return RFMPlusCtx(context.Background(), h, spec, opt, ref)
+}
+
+// RFMPlusCtx is RFMPlus under a context; an interrupted refinement returns
+// the best cost reached (every intermediate refinement state is valid).
+func RFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	res, err := RFMCtx(ctx, h, spec, opt)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -59,8 +77,11 @@ func RFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref 
 	if ref.Rng == nil {
 		ref.Rng = rand.New(rand.NewSource(opt.Seed + 7))
 	}
-	cost, _ := fm.RefineHierarchical(res.Partition, ref)
+	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost
+	if stop := anytime.FromContext(ctx); stop != "" {
+		res.Stop = stop
+	}
 	return res, initial, nil
 }
 

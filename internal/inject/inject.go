@@ -16,10 +16,12 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"repro/internal/anytime"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
 	"repro/internal/metric"
@@ -84,17 +86,33 @@ type Stats struct {
 // ComputeMetric runs Algorithm 2 and returns a spreading metric for (h,
 // spec) together with run statistics. Every node must fit a leaf block
 // (s(v) <= C_0); otherwise no feasible metric or partition exists and an
-// error is returned.
+// error is returned. It is ComputeMetricCtx without cancellation.
 func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (*metric.Metric, Stats, error) {
+	return ComputeMetricCtx(context.Background(), h, spec, opt)
+}
+
+// ComputeMetricCtx is ComputeMetric under a context. The context is checked
+// on every sweep round, before every shortest-path-tree growth, and
+// periodically inside long growths. When it fires mid-run the metric
+// computed so far — a valid (if unconverged) length assignment, since every
+// intermediate state of Algorithm 2 is one — is returned together with the
+// partial Stats AND a non-nil error wrapping the context cause, so callers
+// can choose between salvaging the partial metric and propagating the
+// interruption. A context that is already done at entry yields a nil
+// metric.
+func ComputeMetricCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (*metric.Metric, Stats, error) {
 	opt = opt.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	for v := 0; v < h.NumNodes(); v++ {
 		if h.NodeSize(hypergraph.NodeID(v)) > spec.Capacity[0] {
-			return nil, Stats{}, fmt.Errorf("inject: node %d size %d exceeds C_0 = %d",
-				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0])
+			return nil, Stats{}, fmt.Errorf("inject: node %d size %d exceeds C_0 = %d: %w",
+				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0], anytime.ErrOversizedNode)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, fmt.Errorf("inject: metric computation not started: %w", context.Cause(ctx))
 	}
 
 	m := metric.New(h)
@@ -133,13 +151,23 @@ func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (
 	treeNets := make([]hypergraph.NetID, 0, 64)
 	inTree := make([]bool, h.NumNets())
 
-	for st.Rounds = 0; st.Rounds < opt.MaxRounds && len(active) > 0; st.Rounds++ {
+	// interrupted flips when ctx fires mid-run; the sweep stops at the next
+	// checkpoint and the partial metric is returned. visits counts settled
+	// SPT nodes across growths so even a single huge growth hits a context
+	// checkpoint every few thousand nodes.
+	interrupted := false
+	visits := 0
+	for st.Rounds = 0; st.Rounds < opt.MaxRounds && len(active) > 0 && !interrupted; st.Rounds++ {
 		opt.Rng.Shuffle(len(active), func(i, j int) {
 			active[i], active[j] = active[j], active[i]
 		})
 		// Sweep a snapshot of the active set; nodes whose constraints all
 		// hold are removed.
 		for idx := 0; idx < len(active); {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			root := active[idx]
 			var (
 				lhs      float64
@@ -148,6 +176,11 @@ func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (
 			)
 			treeNets = treeNets[:0]
 			spt.Grow(root, length, func(v shortest.Visit) bool {
+				visits++
+				if visits&4095 == 0 && ctx.Err() != nil {
+					interrupted = true
+					return false
+				}
 				if v.Via >= 0 && !inTree[v.Via] {
 					inTree[v.Via] = true
 					treeNets = append(treeNets, v.Via)
@@ -165,6 +198,9 @@ func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (
 			for _, e := range treeNets {
 				inTree[e] = false
 			}
+			if interrupted {
+				break
+			}
 			if violated {
 				st.Injections++
 				st.TreeNets += len(treeNets)
@@ -180,11 +216,15 @@ func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (
 			}
 		}
 	}
-	st.Converged = len(active) == 0
+	st.Converged = len(active) == 0 && !interrupted
 	for e := range flow {
 		if flow[e] > st.MaxFlow {
 			st.MaxFlow = flow[e]
 		}
+	}
+	if interrupted {
+		return m, st, fmt.Errorf("inject: metric computation interrupted after %d rounds, %d injections: %w",
+			st.Rounds, st.Injections, context.Cause(ctx))
 	}
 	return m, st, nil
 }

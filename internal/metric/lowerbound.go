@@ -1,8 +1,10 @@
 package metric
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/anytime"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
 	"repro/internal/shortest"
@@ -21,6 +23,10 @@ type LowerBoundResult struct {
 	// Converged reports whether separation found no further violation
 	// (if false, Value is a bound on the relaxation only).
 	Converged bool
+	// Stop records why the cutting-plane loop ended: StopConverged,
+	// StopMaxRounds, or StopDeadline/StopCancelled when the context fired
+	// (Value is then the best bound proven before the interruption).
+	Stop anytime.Stop
 }
 
 // ExactLowerBound computes the optimum of the spreading-metric LP (P1) by
@@ -35,13 +41,22 @@ type LowerBoundResult struct {
 // Lemma 2 is exercised at exactly that scale in tests and the ablation
 // bench. maxRounds caps the LP/separation iterations (0 = default 200).
 func ExactLowerBound(h *hypergraph.Hypergraph, spec hierarchy.Spec, maxRounds int) (*LowerBoundResult, error) {
+	return ExactLowerBoundCtx(context.Background(), h, spec, maxRounds)
+}
+
+// ExactLowerBoundCtx is ExactLowerBound under a context, checked on every
+// cutting-plane round and every separation root. Every relaxation optimum
+// already lower-bounds (P1), so cancellation is not an error: the result
+// carries the best bound proven so far with Stop set to the interruption
+// reason and Converged false.
+func ExactLowerBoundCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, maxRounds int) (*LowerBoundResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	for v := 0; v < h.NumNodes(); v++ {
 		if h.NodeSize(hypergraph.NodeID(v)) > spec.Capacity[0] {
-			return nil, fmt.Errorf("metric: node %d size %d exceeds C_0 = %d",
-				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0])
+			return nil, fmt.Errorf("metric: node %d size %d exceeds C_0 = %d: %w",
+				v, h.NodeSize(hypergraph.NodeID(v)), spec.Capacity[0], anytime.ErrOversizedNode)
 		}
 	}
 	if maxRounds == 0 {
@@ -59,10 +74,15 @@ func ExactLowerBound(h *hypergraph.Hypergraph, spec hierarchy.Spec, maxRounds in
 
 	d := make([]float64, m) // current fractional metric
 	for round := 0; round < maxRounds; round++ {
+		if ctx.Err() != nil {
+			res.Stop = anytime.FromContext(ctx)
+			return res, nil
+		}
 		if len(rows) > 0 {
 			x, value, st := simplex.Solve(simplex.Problem{C: obj, A: rows, B: rhs})
 			if st != simplex.Optimal {
-				return nil, fmt.Errorf("metric: LP relaxation %v after %d cuts", st, len(rows))
+				return nil, fmt.Errorf("metric: LP relaxation %v after %d cuts: %w",
+					st, len(rows), anytime.ErrInfeasible)
 			}
 			copy(d, x)
 			// Any relaxation optimum lower-bounds (P1); keep the best seen
@@ -92,6 +112,10 @@ func ExactLowerBound(h *hypergraph.Hypergraph, spec hierarchy.Spec, maxRounds in
 
 		added := 0
 		for v := 0; v < h.NumNodes(); v++ {
+			if v&63 == 63 && ctx.Err() != nil {
+				res.Stop = anytime.FromContext(ctx)
+				return res, nil
+			}
 			for _, row := range separate(h, spec, spt, hypergraph.NodeID(v), d) {
 				// Normalize for simplex conditioning: covering rows with
 				// max coefficient 1 keep the dense tableau well scaled.
@@ -115,9 +139,11 @@ func ExactLowerBound(h *hypergraph.Hypergraph, spec hierarchy.Spec, maxRounds in
 		res.Cuts += added
 		if added == 0 {
 			res.Converged = true
+			res.Stop = anytime.StopConverged
 			return res, nil
 		}
 	}
+	res.Stop = anytime.StopMaxRounds
 	return res, nil
 }
 

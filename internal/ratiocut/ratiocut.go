@@ -12,9 +12,11 @@
 package ratiocut
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	"repro/internal/anytime"
 	"repro/internal/hypergraph"
 	"repro/internal/shortest"
 )
@@ -74,11 +76,25 @@ type Result struct {
 	Ratio float64
 	// Lengths is the final congestion-length of every net.
 	Lengths []float64
+	// Stop records why the run ended: StopConverged for a full schedule,
+	// StopDeadline/StopCancelled when the context fired and the result is
+	// the best cut found before the interruption.
+	Stop anytime.Stop
 }
 
 // Bipartition runs the stochastic flow injection and sweep extraction.
-// The hypergraph must have at least 2 nodes.
+// The hypergraph must have at least 2 nodes. It is BipartitionCtx without
+// cancellation.
 func Bipartition(h *hypergraph.Hypergraph, opt Options) *Result {
+	return BipartitionCtx(context.Background(), h, opt)
+}
+
+// BipartitionCtx is Bipartition under a context, checked between injected
+// pairs and between extraction sweeps. The heuristic is anytime by nature —
+// fewer pairs mean a noisier congestion signal, fewer sweeps fewer cut
+// candidates — so cancellation degrades quality, never validity: the
+// result always has two non-empty sides.
+func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, opt Options) *Result {
 	n := h.NumNodes()
 	if n < 2 {
 		panic("ratiocut: need at least 2 nodes")
@@ -114,6 +130,9 @@ func Bipartition(h *hypergraph.Hypergraph, opt Options) *Result {
 	}
 	links := make(map[hypergraph.NodeID]link, n)
 	for p := 0; p < opt.Pairs; p++ {
+		if p&63 == 63 && ctx.Err() != nil {
+			break
+		}
 		s := hypergraph.NodeID(opt.Rng.Intn(n))
 		t := hypergraph.NodeID(opt.Rng.Intn(n))
 		if s == t {
@@ -146,6 +165,11 @@ func Bipartition(h *hypergraph.Hypergraph, opt Options) *Result {
 	total := h.TotalSize()
 	cnt := make([]int32, h.NumNets())
 	for sweep := 0; sweep < opt.Sweeps; sweep++ {
+		// Always run the first sweep so a cut exists; later sweeps only
+		// improve it and may be skipped once ctx fires.
+		if sweep > 0 && ctx.Err() != nil {
+			break
+		}
 		root := hypergraph.NodeID(opt.Rng.Intn(n))
 		for e := range cnt {
 			cnt[e] = 0
@@ -197,6 +221,11 @@ func Bipartition(h *hypergraph.Hypergraph, opt Options) *Result {
 		best.Cut = c
 		sA := float64(h.NodeSize(0))
 		best.Ratio = c / (sA * float64(total-h.NodeSize(0)))
+	}
+	if stop := anytime.FromContext(ctx); stop != "" {
+		best.Stop = stop
+	} else {
+		best.Stop = anytime.StopConverged
 	}
 	return best
 }

@@ -14,9 +14,12 @@
 package treemap
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hypergraph"
 )
@@ -229,8 +232,16 @@ type Options struct {
 
 // Map assigns the hypergraph onto the host tree by recursive
 // edge-separation plus greedy improvement. The total capacity must cover
-// the total node size.
+// the total node size. It is MapCtx without cancellation.
 func Map(h *hypergraph.Hypergraph, t *HostTree, opt Options) (*Mapping, error) {
+	return MapCtx(context.Background(), h, t, opt)
+}
+
+// MapCtx is Map under a context. Cancellation during the recursive
+// assignment returns an error wrapping anytime.ErrNoPartition (no complete
+// mapping exists yet); cancellation during the improvement passes returns
+// the current valid mapping — improvement only lowers cost, never validity.
+func MapCtx(ctx context.Context, h *hypergraph.Hypergraph, t *HostTree, opt Options) (*Mapping, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -239,7 +250,8 @@ func Map(h *hypergraph.Hypergraph, t *HostTree, opt Options) (*Mapping, error) {
 		capTotal += c
 	}
 	if capTotal < h.TotalSize() {
-		return nil, fmt.Errorf("treemap: total capacity %d < design size %d", capTotal, h.TotalSize())
+		return nil, fmt.Errorf("treemap: total capacity %d < design size %d: %w",
+			capTotal, h.TotalSize(), anytime.ErrInfeasible)
 	}
 	if opt.Rng == nil {
 		opt.Rng = rand.New(rand.NewSource(1))
@@ -260,10 +272,10 @@ func Map(h *hypergraph.Hypergraph, t *HostTree, opt Options) (*Mapping, error) {
 	for i := range allVerts {
 		allVerts[i] = i
 	}
-	if err := assign(m, h, all, allVerts, opt.Rng); err != nil {
+	if err := assign(ctx, m, h, all, allVerts, opt.Rng); err != nil {
 		return nil, err
 	}
-	improve(m, opt)
+	improve(ctx, m, opt)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -272,7 +284,11 @@ func Map(h *hypergraph.Hypergraph, t *HostTree, opt Options) (*Mapping, error) {
 
 // assign recursively splits nodes (given as original IDs with their induced
 // subgraph implied) across the host vertices verts.
-func assign(m *Mapping, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, verts []int, rng *rand.Rand) error {
+func assign(ctx context.Context, m *Mapping, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, verts []int, rng *rand.Rand) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("treemap: assignment interrupted: %w",
+			errors.Join(anytime.ErrNoPartition, context.Cause(ctx)))
+	}
 	if len(verts) == 1 {
 		for _, v := range orig {
 			m.Host[v] = int32(verts[0])
@@ -339,7 +355,7 @@ func assign(m *Mapping, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, ve
 		ub = total
 	}
 	if lb > ub {
-		return fmt.Errorf("treemap: infeasible split (need %d..%d)", lb, ub)
+		return fmt.Errorf("treemap: infeasible split (need %d..%d): %w", lb, ub, anytime.ErrInfeasible)
 	}
 	target := total * capA / capTotal
 	if target < lb {
@@ -386,13 +402,13 @@ func assign(m *Mapping, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, ve
 	}
 	if len(aNodes) > 0 {
 		subA, _, _ := sub.InducedSubgraph(aNodes)
-		if err := assign(m, subA, aOrig, bestSideA, rng); err != nil {
+		if err := assign(ctx, m, subA, aOrig, bestSideA, rng); err != nil {
 			return err
 		}
 	}
 	if len(bNodes) > 0 {
 		subB, _, _ := sub.InducedSubgraph(bNodes)
-		if err := assign(m, subB, bOrig, sideB, rng); err != nil {
+		if err := assign(ctx, m, subB, bOrig, sideB, rng); err != nil {
 			return err
 		}
 	}
@@ -400,15 +416,19 @@ func assign(m *Mapping, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, ve
 }
 
 // improve greedily moves nodes to adjacent host vertices while the routing
-// cost drops and capacities allow.
-func improve(m *Mapping, opt Options) {
+// cost drops and capacities allow. Cancellation stops it mid-pass; the
+// mapping stays valid at every step.
+func improve(ctx context.Context, m *Mapping, opt Options) {
 	load := make([]int64, m.T.NumVertices())
 	for v := 0; v < m.H.NumNodes(); v++ {
 		load[m.Host[v]] += m.H.NodeSize(hypergraph.NodeID(v))
 	}
-	for pass := 0; pass < opt.ImprovePasses; pass++ {
+	for pass := 0; pass < opt.ImprovePasses && ctx.Err() == nil; pass++ {
 		moved := false
 		for v := 0; v < m.H.NumNodes(); v++ {
+			if v&63 == 63 && ctx.Err() != nil {
+				return
+			}
 			node := hypergraph.NodeID(v)
 			cur := int(m.Host[v])
 			var before float64
