@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check bench
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detector pass over the packages with concurrency (parallel FLOW
-# iterations) and the hot cancellation paths.
+# Race-detector pass over the packages with concurrency: parallel FLOW
+# iterations, the batched parallel metric engine, the SPT growers it shares,
+# and the hot cancellation paths.
 race:
-	$(GO) test -race ./internal/htp/ ./internal/inject/
+	$(GO) test -race ./internal/htp/ ./internal/inject/ ./internal/shortest/
 
 # Full pre-merge gate: build, vet, unit tests, race pass.
 check: build vet test race
+
+# Machine-readable benchmark records for the two scaling claims of §3.3:
+# Algorithm 2 (spreading metric; sequential vs parallel workers) and the
+# paper-table benchmarks. EXPERIMENTS.md quotes these files.
+bench:
+	$(GO) test -run=NONE -bench='Alg2Scaling|Alg3Scaling' -benchmem -timeout 1800s . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_alg2.json
+	$(GO) test -run=NONE -bench='Table1|Table2|Table3' -benchmem -timeout 1800s . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_tables.json

@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
@@ -157,25 +158,42 @@ func BenchmarkFigure2LowerBound(b *testing.B) {
 }
 
 // BenchmarkAlg2Scaling measures the spreading-metric computation across
-// sizes (the §3.3 claim that Algorithm 2 dominates).
+// sizes (the §3.3 claim that Algorithm 2 dominates). Each size runs the
+// exact sequential engine (w1) and the batched engine at NumCPU workers
+// (wN) so `make bench` records the parallel speedup; on a single-core
+// machine the two coincide by construction.
 func BenchmarkAlg2Scaling(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
 	for _, n := range []int{128, 512, 2048} {
+		cs := repro.CircuitSpec{Name: "scale", Gates: n, PIs: n / 16, POs: n / 16}
+		h := repro.GenerateCircuit(cs, 1)
+		spec := paperSpec(b, h)
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
-			cs := repro.CircuitSpec{Name: "scale", Gates: n, PIs: n / 16, POs: n / 16}
-			h := repro.GenerateCircuit(cs, 1)
-			spec := paperSpec(b, h)
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := repro.ComputeSpreadingMetric(h, spec, repro.InjectOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := repro.ComputeSpreadingMetric(h, spec, repro.InjectOptions{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
 // BenchmarkAlg3Scaling measures the top-down construction alone across
-// sizes (the §3.3 claim that Algorithm 3 is cheap, ~O((n+p) log n)).
+// sizes (the §3.3 claim that Algorithm 3 is cheap, ~O((n+p) log n)): the
+// spreading metric is computed once outside the timed loop and every
+// iteration rebuilds the partition from it via BuildFromMetric.
 func BenchmarkAlg3Scaling(b *testing.B) {
 	for _, n := range []int{128, 512, 2048} {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
@@ -188,18 +206,11 @@ func BenchmarkAlg3Scaling(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				// Flow with a precomputed metric == one Build; drive it via
-				// the exported surface by running FLOW with the cheapest
-				// injection and measuring construction-dominated work.
-				_ = m
-				res, err := repro.Flow(h, spec, repro.FlowOptions{
-					Iterations: 1, Seed: int64(i + 1),
-					Inject: repro.InjectOptions{MaxRounds: 1},
-				})
+				p, err := repro.BuildFromMetric(h, spec, m, repro.BuildOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				_ = res
+				_ = p
 			}
 		})
 	}

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/circuits"
@@ -37,6 +39,7 @@ var (
 	quick   = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
 	seed    = flag.Int64("seed", 1, "master random seed")
 	flowN   = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+	workers = flag.Int("workers", 1, "concurrent tree growths in Algorithm 2; 1 = exact sequential (the recorded runs), 0 = NumCPU")
 	timeout = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited")
 
 	// runCtx governs every solver call; set in main, cancelled by -timeout
@@ -44,11 +47,27 @@ var (
 	runCtx = context.Background()
 )
 
+// injectOpts returns the Algorithm 2 options every section uses, carrying
+// the -workers choice.
+func injectOpts() inject.Options { return inject.Options{Workers: *workers} }
+
+// flowOpts returns FLOW options with the shared iteration count, seed, and
+// injection settings.
+func flowOpts(n int) htp.FlowOptions {
+	return htp.FlowOptions{Iterations: n, Seed: *seed, Inject: injectOpts()}
+}
+
 func main() {
 	table := flag.String("table", "", "table to regenerate: 1, 2, 3, ablation")
 	figure := flag.String("figure", "", "figure to regenerate: 1, 2, scaling")
 	all := flag.Bool("all", false, "regenerate everything")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
+	defer profiles(*cpuprofile, *memprofile)()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -156,7 +175,9 @@ func table2and3() {
 		r := row{name: cs.Name}
 
 		t0 := time.Now()
-		fres, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: n, PartitionsPerMetric: 2, Seed: *seed})
+		fopt := flowOpts(n)
+		fopt.PartitionsPerMetric = 2
+		fres, err := htp.FlowCtx(runCtx, h, spec, fopt)
 		if err != nil {
 			fatal(err)
 		}
@@ -175,7 +196,7 @@ func table2and3() {
 		r.gfm = gres.Cost
 
 		// "+" variants refine fresh runs of the constructives.
-		fp, fi, err := htp.FlowPlusCtx(runCtx, h, spec, htp.FlowOptions{Iterations: n, PartitionsPerMetric: 2, Seed: *seed}, fm.RefineOptions{})
+		fp, fi, err := htp.FlowPlusCtx(runCtx, h, spec, fopt, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
@@ -269,7 +290,7 @@ func figure2() {
 		fatal(err)
 	}
 	fmt.Printf("exact LP lower bound (Lemma 2): %.2f (converged=%v)\n", lb.Value, lb.Converged)
-	res, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 8, Seed: *seed})
+	res, err := htp.FlowCtx(runCtx, h, spec, flowOpts(8))
 	if err != nil {
 		fatal(err)
 	}
@@ -293,7 +314,7 @@ func scaling() {
 			fatal(err)
 		}
 		t0 := time.Now()
-		m, _, err := inject.ComputeMetricCtx(runCtx, h, spec, inject.Options{})
+		m, _, err := inject.ComputeMetricCtx(runCtx, h, spec, injectOpts())
 		if err != nil {
 			fatal(err)
 		}
@@ -320,12 +341,13 @@ func metricQuality() {
 	for _, cs := range testCases()[:2] {
 		h := circuits.Generate(cs, *seed)
 		spec := specFor(h)
-		m, _, err := inject.ComputeMetricCtx(runCtx, h, spec, inject.Options{})
+		m, _, err := inject.ComputeMetricCtx(runCtx, h, spec, injectOpts())
 		if err != nil {
 			fatal(err)
 		}
-		res, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
-			Build: htp.BuildOptions{PolishCuts: true}})
+		fopt := flowOpts(2)
+		fopt.Build = htp.BuildOptions{PolishCuts: true}
+		res, err := htp.FlowCtx(runCtx, h, spec, fopt)
 		if err != nil {
 			fatal(err)
 		}
@@ -355,7 +377,7 @@ func ablation() {
 		run  func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64
 	}{
 		{"FLOW (defaults)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed})
+			r, err := htp.FlowCtx(runCtx, h, spec, flowOpts(2))
 			if err != nil {
 				fatal(err)
 			}
@@ -363,39 +385,35 @@ func ablation() {
 		}},
 		{"coarse injection (Δ=0.5)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
 			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
-				Inject: inject.Options{Delta: 0.5, Alpha: 1}})
+				Inject: inject.Options{Delta: 0.5, Alpha: 1, Workers: *workers}})
 			if err != nil {
 				fatal(err)
 			}
 			return r.Cost
 		}},
 		{"single carve attempt", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
-				Build: htp.BuildOptions{CarveAttempts: 1}})
+			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.Build = htp.BuildOptions{CarveAttempts: 1}; return o }())
 			if err != nil {
 				fatal(err)
 			}
 			return r.Cost
 		}},
 		{"fixed LB (paper literal)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
-				Build: htp.BuildOptions{FixedLB: true}})
+			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.Build = htp.BuildOptions{FixedLB: true}; return o }())
 			if err != nil {
 				fatal(err)
 			}
 			return r.Cost
 		}},
 		{"8 partitions per metric", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
-				PartitionsPerMetric: 8})
+			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.PartitionsPerMetric = 8; return o }())
 			if err != nil {
 				fatal(err)
 			}
 			return r.Cost
 		}},
 		{"polished cuts (§5 f.work)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
-			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
-				Build: htp.BuildOptions{PolishCuts: true}})
+			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.Build = htp.BuildOptions{PolishCuts: true}; return o }())
 			if err != nil {
 				fatal(err)
 			}
@@ -419,7 +437,48 @@ func ablation() {
 	fmt.Println()
 }
 
+// profiles starts a CPU profile and arranges a heap profile, returning the
+// function that stops and writes them; fatal also runs it so profiles
+// survive error exits (os.Exit skips defers).
+func profiles(cpu, mem string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	stopProfiles = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+		stopProfiles = func() {}
+	}
+	return func() { stopProfiles() }
+}
+
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	if runCtx.Err() != nil {
 		// The budget (or Ctrl-C) caused this; partial output already printed
 		// is valid, so leave with success.

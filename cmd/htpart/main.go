@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,26 +30,34 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/htp"
 	"repro/internal/hypergraph"
+	"repro/internal/inject"
 )
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input netlist (extended hMETIS format)")
-		algo      = flag.String("algo", "flow", "algorithm: flow, rfm, gfm, flow+, rfm+, gfm+")
-		height    = flag.Int("height", 4, "hierarchy height L (full binary tree, as in the paper)")
-		wbase     = flag.Float64("wbase", 2, "level weight base: w_l = wbase^l")
-		slack     = flag.Float64("slack", 1.1, "capacity slack over balanced binary splits")
-		seed      = flag.Int64("seed", 1, "random seed")
-		iters     = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
-		perMetric = flag.Int("per-metric", 1, "partitions constructed per spreading metric")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited (best-so-far on expiry)")
-		printTree = flag.Bool("print-tree", false, "print the partition tree")
-		levels    = flag.Bool("levels", false, "print per-level cost breakdown")
+		in         = flag.String("in", "", "input netlist (extended hMETIS format)")
+		algo       = flag.String("algo", "flow", "algorithm: flow, rfm, gfm, flow+, rfm+, gfm+")
+		height     = flag.Int("height", 4, "hierarchy height L (full binary tree, as in the paper)")
+		wbase      = flag.Float64("wbase", 2, "level weight base: w_l = wbase^l")
+		slack      = flag.Float64("slack", 1.1, "capacity slack over balanced binary splits")
+		seed       = flag.Int64("seed", 1, "random seed")
+		iters      = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+		perMetric  = flag.Int("per-metric", 1, "partitions constructed per spreading metric")
+		workers    = flag.Int("workers", 1, "concurrent tree growths in Algorithm 2; 1 = exact sequential, 0 = NumCPU")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited (best-so-far on expiry)")
+		printTree  = flag.Bool("print-tree", false, "print the partition tree")
+		levels     = flag.Bool("levels", false, "print per-level cost breakdown")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("need -in netlist"))
 	}
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
+	defer profiles(*cpuprofile, *memprofile)()
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	if *timeout > 0 {
@@ -76,7 +86,8 @@ func main() {
 	var initial float64
 	switch base {
 	case "flow":
-		opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed}
+		opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed,
+			Inject: inject.Options{Workers: *workers}}
 		if plus {
 			res, initial, err = htp.FlowPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
@@ -141,7 +152,48 @@ func main() {
 	}
 }
 
+// profiles starts a CPU profile and arranges a heap profile, returning the
+// function that stops and writes them; fatal also runs it so profiles
+// survive error exits (os.Exit skips defers).
+func profiles(cpu, mem string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	stopProfiles = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "htpart:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "htpart:", err)
+			}
+		}
+		stopProfiles = func() {}
+	}
+	return func() { stopProfiles() }
+}
+
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "htpart:", err)
 	os.Exit(1)
 }

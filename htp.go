@@ -169,6 +169,23 @@ func FlowPlusCtx(ctx context.Context, h *Hypergraph, spec Spec, opt FlowOptions,
 	return htp.FlowPlusCtx(ctx, h, spec, opt, ref)
 }
 
+// BuildFromMetric runs the metric-guided top-down construction alone
+// (Algorithm 3): carve the hierarchy from a spreading metric already in
+// hand. Flow composes this with ComputeSpreadingMetric; exposing the
+// construction separately lets callers reuse one (possibly expensive)
+// metric across several Build configurations, and lets benchmarks time
+// Algorithm 3 without the dominating Algorithm 2 in front of it.
+func BuildFromMetric(h *Hypergraph, spec Spec, m *SpreadingMetric, opt BuildOptions) (*Partition, error) {
+	return htp.Build(h, spec, m.D, opt)
+}
+
+// BuildFromMetricCtx is BuildFromMetric under a context. A half-built
+// partition is not a valid one, so cancellation returns an error wrapping
+// ErrNoPartition and the context cause rather than a partial tree.
+func BuildFromMetricCtx(ctx context.Context, h *Hypergraph, spec Spec, m *SpreadingMetric, opt BuildOptions) (*Partition, error) {
+	return htp.BuildCtx(ctx, h, spec, m.D, opt)
+}
+
 // RFM runs the top-down recursive FM baseline; RFMPlus adds refinement.
 func RFM(h *Hypergraph, spec Spec, opt RFMOptions) (*Result, error) {
 	return htp.RFM(h, spec, opt)

@@ -13,6 +13,12 @@
 // when the set empties. Exponential re-lengthening guarantees progress: each
 // injection multiplies the tree nets' lengths, so violated sets spread apart
 // geometrically.
+//
+// The tree growths dominate FLOW's runtime (§3.3), so the engine has two
+// execution modes selected by Options.Workers: the exact sequential sweep,
+// and a deterministic batched worker pool that grows trees from several
+// roots concurrently against lengths frozen per batch (see DESIGN.md,
+// "Parallel metric engine").
 package inject
 
 import (
@@ -20,6 +26,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/anytime"
 	"repro/internal/hierarchy"
@@ -48,8 +56,20 @@ type Options struct {
 	// that does not bind on sane inputs. Default 500.
 	MaxRounds int
 	// Rng drives the random sweep order. Defaults to a fixed-seed source so
-	// runs are reproducible; Algorithm 1 passes a shared source.
+	// runs are reproducible; Algorithm 1 passes a shared source. The source
+	// is only ever drawn from on the calling goroutine — the parallel engine
+	// derives one seed per round from it and never hands it to workers — so
+	// a fixed seed fully determines the run in every mode.
 	Rng *rand.Rand
+	// Workers bounds how many shortest-path trees grow concurrently. 0 and 1
+	// run the exact sequential sweep (bit-for-bit the historical results).
+	// Values above 1 select the batched parallel engine: roots are processed
+	// in fixed-size batches against lengths frozen for the batch, and the
+	// violated trees' injections merge in batch order, so the metric is a
+	// deterministic function of the seed — identical for every Workers >= 2
+	// — though not the same as the sequential one. Use runtime.NumCPU() for
+	// throughput.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +90,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Rng == nil {
 		o.Rng = rand.New(rand.NewSource(1))
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -93,13 +116,13 @@ func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (
 
 // ComputeMetricCtx is ComputeMetric under a context. The context is checked
 // on every sweep round, before every shortest-path-tree growth, and
-// periodically inside long growths. When it fires mid-run the metric
-// computed so far — a valid (if unconverged) length assignment, since every
-// intermediate state of Algorithm 2 is one — is returned together with the
-// partial Stats AND a non-nil error wrapping the context cause, so callers
-// can choose between salvaging the partial metric and propagating the
-// interruption. A context that is already done at entry yields a nil
-// metric.
+// periodically inside long growths (in every worker, when parallel). When it
+// fires mid-run the metric computed so far — a valid (if unconverged) length
+// assignment, since every intermediate state of Algorithm 2 is one — is
+// returned together with the partial Stats AND a non-nil error wrapping the
+// context cause, so callers can choose between salvaging the partial metric
+// and propagating the interruption. A context that is already done at entry
+// yields a nil metric.
 func ComputeMetricCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (*metric.Metric, Stats, error) {
 	opt = opt.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -115,116 +138,394 @@ func ComputeMetricCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierar
 		return nil, Stats{}, fmt.Errorf("inject: metric computation not started: %w", context.Cause(ctx))
 	}
 
-	m := metric.New(h)
-	flow := make([]float64, h.NumNets())
-	relength := func(e hypergraph.NetID) {
-		c := h.NetCapacity(e)
-		if c <= 0 {
-			// A zero-capacity net is free to cut: the LP can stretch it
-			// arbitrarily at zero objective cost, so give it maximal length
-			// immediately (it contributes c·d = 0 to the metric value).
-			m.D[e] = math.Exp(opt.MaxExponent) - 1
-			return
-		}
-		x := opt.Alpha * flow[e] / c
-		if x > opt.MaxExponent {
-			x = opt.MaxExponent
-		}
-		m.D[e] = math.Exp(x) - 1
+	g := &engine{
+		ctx:  ctx,
+		h:    h,
+		spec: spec,
+		opt:  opt,
+		m:    metric.New(h),
+		flow: make([]float64, h.NumNets()),
 	}
+	// Initial lengths. A zero-capacity net is free to cut: the LP can
+	// stretch it arbitrarily at zero objective cost, so it gets maximal
+	// length once here (it contributes c·d = 0 to the metric value) and is
+	// never re-lengthened — its length is a constant, which the injection
+	// loops exploit by skipping the exp().
+	freeLen := math.Exp(opt.MaxExponent) - 1
 	for e := 0; e < h.NumNets(); e++ {
-		flow[e] = opt.Epsilon
-		relength(hypergraph.NetID(e))
+		g.flow[e] = opt.Epsilon
+		if h.NetCapacity(hypergraph.NetID(e)) <= 0 {
+			g.m.D[e] = freeLen
+		} else {
+			g.relength(hypergraph.NetID(e))
+		}
 	}
 
-	// Active set V' with O(1) removal: swap-delete over a permutation.
-	active := make([]hypergraph.NodeID, h.NumNodes())
-	for i := range active {
-		active[i] = hypergraph.NodeID(i)
+	// Prefix sizes during a tree growth only take values in [1, s(V)], and
+	// the bound g(x) is asked for every settled node of every growth, so for
+	// reasonably-sized designs it pays to evaluate Spec.G once per possible
+	// size up front. The table holds the exact bits Spec.G returns — it is a
+	// pure function — so results are unchanged; huge weighted designs skip
+	// the table and fall back to direct evaluation.
+	g.total = h.TotalSize()
+	g.gX = spec.G(g.total)
+	if g.total <= maxGTableSize {
+		g.gTab = make([]float64, g.total+1)
+		for x := int64(1); x <= g.total; x++ {
+			g.gTab[x] = spec.G(x)
+		}
 	}
 
+	// Active set V' with O(1) removal: swap-delete (sequential) or ordered
+	// compaction (parallel) over a permutation.
+	g.active = make([]hypergraph.NodeID, h.NumNodes())
+	for i := range g.active {
+		g.active[i] = hypergraph.NodeID(i)
+	}
+
+	if opt.Workers > 1 {
+		g.runParallel()
+	} else {
+		g.runSequential()
+	}
+
+	g.st.Converged = len(g.active) == 0 && !g.interrupted
+	for e := range g.flow {
+		if g.flow[e] > g.st.MaxFlow {
+			g.st.MaxFlow = g.flow[e]
+		}
+	}
+	if g.interrupted {
+		return g.m, g.st, fmt.Errorf("inject: metric computation interrupted after %d rounds, %d injections: %w",
+			g.st.Rounds, g.st.Injections, context.Cause(ctx))
+	}
+	return g.m, g.st, nil
+}
+
+// maxGTableSize bounds the total design size for which g(x) is tabulated
+// (8 MiB of float64s); larger designs evaluate Spec.G directly.
+const maxGTableSize = 1 << 20
+
+// engine holds the state shared by both execution modes of Algorithm 2.
+type engine struct {
+	ctx         context.Context
+	h           *hypergraph.Hypergraph
+	spec        hierarchy.Spec
+	opt         Options
+	m           *metric.Metric
+	flow        []float64
+	gTab        []float64 // g(x) by total prefix size; nil for huge designs
+	total       int64     // s(V), the size of the whole design
+	gX          float64   // g(total), the largest bound any prefix faces
+	active      []hypergraph.NodeID
+	st          Stats
+	interrupted bool
+}
+
+// relength recomputes d(e) = exp(α·f(e)/c(e)) − 1 after a flow change.
+// Zero-capacity nets keep the constant maximal length assigned at
+// initialization; callers on the hot path skip them before calling.
+func (g *engine) relength(e hypergraph.NetID) {
+	c := g.h.NetCapacity(e)
+	if c <= 0 {
+		return
+	}
+	x := g.opt.Alpha * g.flow[e] / c
+	if x > g.opt.MaxExponent {
+		x = g.opt.MaxExponent
+	}
+	g.m.D[e] = math.Exp(x) - 1
+}
+
+// runSequential is the historical exact sweep: one tree growth at a time,
+// each seeing every injection made before it, roots retired by swap-delete.
+func (g *engine) runSequential() {
+	h, spec, opt := g.h, g.spec, g.opt
 	spt := shortest.NewHyperSPT(h)
-	length := func(e hypergraph.NetID) float64 { return m.D[e] }
-	var st Stats
+	gTab, total, gX := g.gTab, g.total, g.gX
 
 	// Per-growth scratch: the distinct nets of the current tree.
 	treeNets := make([]hypergraph.NetID, 0, 64)
 	inTree := make([]bool, h.NumNets())
 
-	// interrupted flips when ctx fires mid-run; the sweep stops at the next
-	// checkpoint and the partial metric is returned. visits counts settled
-	// SPT nodes across growths so even a single huge growth hits a context
-	// checkpoint every few thousand nodes.
-	interrupted := false
+	// visits counts settled SPT nodes across growths so even a single huge
+	// growth hits a context checkpoint every few thousand nodes.
 	visits := 0
-	for st.Rounds = 0; st.Rounds < opt.MaxRounds && len(active) > 0 && !interrupted; st.Rounds++ {
-		opt.Rng.Shuffle(len(active), func(i, j int) {
-			active[i], active[j] = active[j], active[i]
+	for g.st.Rounds = 0; g.st.Rounds < opt.MaxRounds && len(g.active) > 0 && !g.interrupted; g.st.Rounds++ {
+		opt.Rng.Shuffle(len(g.active), func(i, j int) {
+			g.active[i], g.active[j] = g.active[j], g.active[i]
 		})
 		// Sweep a snapshot of the active set; nodes whose constraints all
 		// hold are removed.
-		for idx := 0; idx < len(active); {
-			if ctx.Err() != nil {
-				interrupted = true
+		for idx := 0; idx < len(g.active); {
+			if g.ctx.Err() != nil {
+				g.interrupted = true
 				break
 			}
-			root := active[idx]
+			root := g.active[idx]
 			var (
 				lhs      float64
 				size     int64
 				violated bool
 			)
 			treeNets = treeNets[:0]
-			spt.Grow(root, length, func(v shortest.Visit) bool {
+			spt.GrowLengths(root, g.m.D, func(v shortest.Visit) bool {
 				visits++
-				if visits&4095 == 0 && ctx.Err() != nil {
-					interrupted = true
+				if visits&4095 == 0 && g.ctx.Err() != nil {
+					g.interrupted = true
 					return false
 				}
 				if v.Via >= 0 && !inTree[v.Via] {
 					inTree[v.Via] = true
 					treeNets = append(treeNets, v.Via)
 				}
-				s := float64(h.NodeSize(v.Node))
-				size += h.NodeSize(v.Node)
-				lhs += v.Dist * s
-				bound := spec.G(size)
+				sz := h.NodeSize(v.Node)
+				size += sz
+				lhs += v.Dist * float64(sz)
+				var bound float64
+				if gTab != nil {
+					bound = gTab[size]
+				} else {
+					bound = spec.G(size)
+				}
 				if lhs < bound-1e-12*(1+bound) {
 					violated = true
 					return false
 				}
-				return true
+				// Nodes settle in distance order, so every prefix the rest
+				// of this growth can reach has left side at least
+				// lhs + Dist·(its size − size), a line that g — convex,
+				// and already below lhs at the current prefix — can only
+				// cross past the design's total size. If the line clears
+				// g(total), no larger prefix can violate: the rest of the
+				// growth is provably pointless and the root retires either
+				// way.
+				return lhs+v.Dist*float64(total-size) < gX
 			})
 			for _, e := range treeNets {
 				inTree[e] = false
 			}
-			if interrupted {
+			if g.interrupted {
 				break
 			}
 			if violated {
-				st.Injections++
-				st.TreeNets += len(treeNets)
+				g.st.Injections++
+				g.st.TreeNets += len(treeNets)
 				for _, e := range treeNets {
-					flow[e] += opt.Delta
-					relength(e)
+					g.flow[e] += opt.Delta
+					g.relength(e)
 				}
 				idx++ // keep root active; lengths changed under it
 			} else {
 				// Constraint (5) holds for every k from this root: retire it.
-				active[idx] = active[len(active)-1]
-				active = active[:len(active)-1]
+				g.active[idx] = g.active[len(g.active)-1]
+				g.active = g.active[:len(g.active)-1]
 			}
 		}
 	}
-	st.Converged = len(active) == 0 && !interrupted
-	for e := range flow {
-		if flow[e] > st.MaxFlow {
-			st.MaxFlow = flow[e]
+}
+
+// parallelBatch is the number of roots a batch of concurrent tree growths
+// covers. It is a fixed constant — NOT a function of Options.Workers — so
+// the batch structure, and with it the computed metric, depends only on the
+// seed: every Workers >= 2 produces the identical result, workers merely
+// split the same batches. 32 keeps staleness low (lengths refresh every 32
+// roots) while giving a full CPU's worth of concurrent growths.
+const parallelBatch = 32
+
+// rootResult records one root's growth against the batch's frozen lengths.
+// Tree nets live in the owning worker's arena at [off, off+n).
+type rootResult struct {
+	done     bool
+	violated bool
+	worker   int32
+	off, n   int
+}
+
+// injectWorker is the per-worker scratch: an SPT grower and a tree-net arena
+// reused across batches so steady-state growth allocates nothing.
+type injectWorker struct {
+	spt    *shortest.HyperSPT
+	inTree []bool
+	nets   []hypergraph.NetID
+	visits int
+}
+
+// runParallel is the batched engine: per round, shuffle the active set with
+// a round-local rng seeded from opt.Rng, then process it in fixed batches.
+// Workers grow trees for a batch's roots concurrently against d(e) frozen
+// for the batch (the coordinator only mutates lengths between batches);
+// afterwards the violated trees' injections are merged in batch order and
+// satisfied roots retire. Everything a worker computes is a pure function of
+// (root, frozen lengths), and the merge order is canonical, so scheduling
+// cannot influence the metric. See DESIGN.md "Parallel metric engine" for
+// the determinism and convergence arguments.
+func (g *engine) runParallel() {
+	h, opt := g.h, g.opt
+	workers := opt.Workers
+	if workers > parallelBatch {
+		workers = parallelBatch
+	}
+
+	var (
+		stop    atomic.Bool // a worker saw ctx done: drain the batch fast
+		next    atomic.Int64
+		batch   []hypergraph.NodeID
+		results [parallelBatch]rootResult
+		wg      sync.WaitGroup
+		startCh = make(chan struct{})
+	)
+	defer close(startCh)
+
+	scratch := make([]*injectWorker, workers)
+	for w := range scratch {
+		scratch[w] = &injectWorker{
+			spt:    shortest.NewHyperSPT(h),
+			inTree: make([]bool, h.NumNets()),
+			nets:   make([]hypergraph.NetID, 0, 256),
 		}
+		go func(id int32, ws *injectWorker) {
+			for range startCh {
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(batch) || stop.Load() {
+						break
+					}
+					g.growRoot(ws, id, batch[i], &results[i], &stop)
+				}
+				wg.Done()
+			}
+		}(int32(w), scratch[w])
 	}
-	if interrupted {
-		return m, st, fmt.Errorf("inject: metric computation interrupted after %d rounds, %d injections: %w",
-			st.Rounds, st.Injections, context.Cause(ctx))
+
+	for g.st.Rounds = 0; g.st.Rounds < opt.MaxRounds && len(g.active) > 0 && !g.interrupted; g.st.Rounds++ {
+		// One seed per round from the caller's source; the shuffle runs on a
+		// round-local rng so the shared *rand.Rand never crosses goroutines
+		// and the permutation stream is independent of worker count.
+		roundRng := rand.New(rand.NewSource(opt.Rng.Int63()))
+		roundRng.Shuffle(len(g.active), func(i, j int) {
+			g.active[i], g.active[j] = g.active[j], g.active[i]
+		})
+
+		// Survivors compact in place behind the batch cursor: the write
+		// index never catches up to the batch being read, and workers only
+		// run between wg.Add and wg.Wait while the coordinator is idle.
+		n := 0
+		for start := 0; start < len(g.active); start += parallelBatch {
+			if g.ctx.Err() != nil {
+				g.interrupted = true
+				break
+			}
+			end := start + parallelBatch
+			if end > len(g.active) {
+				end = len(g.active)
+			}
+			batch = g.active[start:end]
+			for i := range batch {
+				results[i] = rootResult{}
+			}
+			for _, ws := range scratch {
+				ws.nets = ws.nets[:0]
+			}
+			next.Store(0)
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				startCh <- struct{}{}
+			}
+			wg.Wait()
+
+			// Merge in canonical batch order. On interruption the prefix of
+			// completed roots still merges — any prefix of injections is a
+			// valid intermediate state — and the rest stays active.
+			for i, root := range batch {
+				r := &results[i]
+				if !r.done {
+					g.interrupted = true
+					break
+				}
+				if r.violated {
+					g.st.Injections++
+					g.st.TreeNets += r.n
+					ws := scratch[r.worker]
+					for _, e := range ws.nets[r.off : r.off+r.n] {
+						g.flow[e] += opt.Delta
+						g.relength(e)
+					}
+					g.active[n] = root
+					n++
+				}
+			}
+			if g.interrupted {
+				break
+			}
+		}
+		if g.interrupted {
+			break
+		}
+		g.active = g.active[:n]
 	}
-	return m, st, nil
+}
+
+// growRoot grows one shortest-path tree against the batch's frozen lengths
+// and records whether the root's spreading constraint is violated, plus the
+// violating tree's nets in the worker's arena. It is a pure function of
+// (root, g.m.D): workers share no mutable state except their own scratch.
+func (g *engine) growRoot(ws *injectWorker, id int32, root hypergraph.NodeID, r *rootResult, stop *atomic.Bool) {
+	if stop.Load() || g.ctx.Err() != nil {
+		stop.Store(true)
+		return
+	}
+	h, spec := g.h, g.spec
+	gTab, total, gX := g.gTab, g.total, g.gX
+	off := len(ws.nets)
+	var (
+		lhs      float64
+		size     int64
+		violated bool
+		aborted  bool
+	)
+	ws.spt.GrowLengths(root, g.m.D, func(v shortest.Visit) bool {
+		ws.visits++
+		if ws.visits&4095 == 0 && (stop.Load() || g.ctx.Err() != nil) {
+			stop.Store(true)
+			aborted = true
+			return false
+		}
+		if v.Via >= 0 && !ws.inTree[v.Via] {
+			ws.inTree[v.Via] = true
+			ws.nets = append(ws.nets, v.Via)
+		}
+		sz := h.NodeSize(v.Node)
+		size += sz
+		lhs += v.Dist * float64(sz)
+		var bound float64
+		if gTab != nil {
+			bound = gTab[size]
+		} else {
+			bound = spec.G(size)
+		}
+		if lhs < bound-1e-12*(1+bound) {
+			violated = true
+			return false
+		}
+		// The straight-line finish lhs + Dist·(remaining size) lower-bounds
+		// every future prefix; once it clears the convex g at the total
+		// size, no larger prefix can violate (see runSequential).
+		return lhs+v.Dist*float64(total-size) < gX
+	})
+	for _, e := range ws.nets[off:] {
+		ws.inTree[e] = false
+	}
+	if aborted {
+		ws.nets = ws.nets[:off]
+		return
+	}
+	if !violated {
+		// Satisfied roots retire; their tree nets are never injected, so
+		// give the arena space back.
+		ws.nets = ws.nets[:off]
+		*r = rootResult{done: true}
+		return
+	}
+	*r = rootResult{done: true, violated: true, worker: id, off: off, n: len(ws.nets) - off}
 }

@@ -5,21 +5,33 @@
 // position.
 package pqueue
 
+// entry is one heap slot. Keys live inline with their items so a sift
+// comparison touches a single contiguous array instead of chasing
+// keys[heap[i]] through a second one — the heap is the hot path of every
+// shortest-path-tree growth in Algorithm 2, and the extra indirection
+// dominated its profile.
+type entry struct {
+	key  float64
+	item int32
+}
+
 // IndexedMinHeap is a binary min-heap over integer items with float64 keys.
 // Every item must be in [0, capacity). The zero value is not usable; call New.
+//
+// Sift operations move a hole instead of swapping pairwise, halving the
+// writes; the element ordering they produce is identical to the classic
+// swap formulation (same comparisons, same tie preference), so heaps built
+// by either implementation pop in the same order.
 type IndexedMinHeap struct {
-	keys  []float64 // keys[item] = current priority of item
-	heap  []int32   // heap[i] = item at heap position i
-	pos   []int32   // pos[item] = heap position of item, or -1 if absent
-	count int
+	entries []entry // heap-ordered slots
+	pos     []int32 // pos[item] = heap position of item, or -1 if absent
 }
 
 // New returns an empty heap able to hold items 0..capacity-1.
 func New(capacity int) *IndexedMinHeap {
 	h := &IndexedMinHeap{
-		keys: make([]float64, capacity),
-		heap: make([]int32, 0, capacity),
-		pos:  make([]int32, capacity),
+		entries: make([]entry, 0, capacity),
+		pos:     make([]int32, capacity),
 	}
 	for i := range h.pos {
 		h.pos[i] = -1
@@ -28,7 +40,7 @@ func New(capacity int) *IndexedMinHeap {
 }
 
 // Len reports the number of items currently in the heap.
-func (h *IndexedMinHeap) Len() int { return h.count }
+func (h *IndexedMinHeap) Len() int { return len(h.entries) }
 
 // Contains reports whether item is currently in the heap.
 func (h *IndexedMinHeap) Contains(item int) bool {
@@ -40,7 +52,7 @@ func (h *IndexedMinHeap) Key(item int) float64 {
 	if !h.Contains(item) {
 		panic("pqueue: Key of absent item")
 	}
-	return h.keys[item]
+	return h.entries[h.pos[item]].key
 }
 
 // Push inserts item with the given key. It panics if the item is already
@@ -52,37 +64,36 @@ func (h *IndexedMinHeap) Push(item int, key float64) {
 	if h.pos[item] >= 0 {
 		panic("pqueue: duplicate Push")
 	}
-	h.keys[item] = key
-	h.heap = append(h.heap, int32(item))
-	h.pos[item] = int32(h.count)
-	h.count++
-	h.siftUp(h.count - 1)
+	h.entries = append(h.entries, entry{key, int32(item)})
+	h.pos[item] = int32(len(h.entries) - 1)
+	h.siftUp(len(h.entries) - 1)
 }
 
 // Pop removes and returns the item with the minimum key and that key.
 // It panics on an empty heap. Ties are broken arbitrarily.
 func (h *IndexedMinHeap) Pop() (item int, key float64) {
-	if h.count == 0 {
+	n := len(h.entries)
+	if n == 0 {
 		panic("pqueue: Pop of empty heap")
 	}
-	top := h.heap[0]
-	key = h.keys[top]
-	h.swap(0, h.count-1)
-	h.heap = h.heap[:h.count-1]
-	h.pos[top] = -1
-	h.count--
-	if h.count > 0 {
+	top := h.entries[0]
+	h.pos[top.item] = -1
+	last := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	if n > 1 {
+		h.entries[0] = last
+		h.pos[last.item] = 0
 		h.siftDown(0)
 	}
-	return int(top), key
+	return int(top.item), top.key
 }
 
 // Peek returns the minimum item and key without removing it.
 func (h *IndexedMinHeap) Peek() (item int, key float64) {
-	if h.count == 0 {
+	if len(h.entries) == 0 {
 		panic("pqueue: Peek of empty heap")
 	}
-	return int(h.heap[0]), h.keys[h.heap[0]]
+	return int(h.entries[0].item), h.entries[0].key
 }
 
 // DecreaseKey lowers the key of an existing item. It panics if the item is
@@ -91,11 +102,12 @@ func (h *IndexedMinHeap) DecreaseKey(item int, key float64) {
 	if !h.Contains(item) {
 		panic("pqueue: DecreaseKey of absent item")
 	}
-	if key > h.keys[item] {
+	i := int(h.pos[item])
+	if key > h.entries[i].key {
 		panic("pqueue: DecreaseKey would increase key")
 	}
-	h.keys[item] = key
-	h.siftUp(int(h.pos[item]))
+	h.entries[i].key = key
+	h.siftUp(i)
 }
 
 // PushOrDecrease inserts the item if absent, lowers its key if the new key is
@@ -106,7 +118,7 @@ func (h *IndexedMinHeap) PushOrDecrease(item int, key float64) bool {
 		h.Push(item, key)
 		return true
 	}
-	if key < h.keys[item] {
+	if key < h.entries[h.pos[item]].key {
 		h.DecreaseKey(item, key)
 		return true
 	}
@@ -119,11 +131,13 @@ func (h *IndexedMinHeap) Remove(item int) {
 		panic("pqueue: Remove of absent item")
 	}
 	i := int(h.pos[item])
-	h.swap(i, h.count-1)
-	h.heap = h.heap[:h.count-1]
+	n := len(h.entries)
 	h.pos[item] = -1
-	h.count--
-	if i < h.count {
+	last := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	if i < n-1 {
+		h.entries[i] = last
+		h.pos[last.item] = int32(i)
 		h.siftDown(i)
 		h.siftUp(i)
 	}
@@ -131,48 +145,53 @@ func (h *IndexedMinHeap) Remove(item int) {
 
 // Reset empties the heap, keeping its capacity.
 func (h *IndexedMinHeap) Reset() {
-	for _, it := range h.heap {
-		h.pos[it] = -1
+	for _, e := range h.entries {
+		h.pos[e.item] = -1
 	}
-	h.heap = h.heap[:0]
-	h.count = 0
+	h.entries = h.entries[:0]
 }
 
-func (h *IndexedMinHeap) swap(i, j int) {
-	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
-	h.pos[h.heap[i]] = int32(i)
-	h.pos[h.heap[j]] = int32(j)
-}
-
-func (h *IndexedMinHeap) less(i, j int) bool {
-	return h.keys[h.heap[i]] < h.keys[h.heap[j]]
-}
-
+// siftUp restores heap order by floating entries[i] toward the root: the
+// moving entry is held out while smaller-ancestor slots shift down into the
+// hole, then placed once.
 func (h *IndexedMinHeap) siftUp(i int) {
+	es := h.entries
+	moving := es[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if moving.key >= es[parent].key {
 			break
 		}
-		h.swap(i, parent)
+		es[i] = es[parent]
+		h.pos[es[i].item] = int32(i)
 		i = parent
 	}
+	es[i] = moving
+	h.pos[moving.item] = int32(i)
 }
 
+// siftDown restores heap order by sinking entries[i]: the smaller child
+// (left-preferred on ties, matching the classic swap formulation) shifts up
+// into the hole until neither child is smaller than the moving entry.
 func (h *IndexedMinHeap) siftDown(i int) {
+	es := h.entries
+	n := len(es)
+	moving := es[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < h.count && h.less(l, smallest) {
-			smallest = l
+		c := 2*i + 1
+		if c >= n {
+			break
 		}
-		if r < h.count && h.less(r, smallest) {
-			smallest = r
+		if r := c + 1; r < n && es[r].key < es[c].key {
+			c = r
 		}
-		if smallest == i {
-			return
+		if es[c].key >= moving.key {
+			break
 		}
-		h.swap(i, smallest)
-		i = smallest
+		es[i] = es[c]
+		h.pos[es[i].item] = int32(i)
+		i = c
 	}
+	es[i] = moving
+	h.pos[moving.item] = int32(i)
 }

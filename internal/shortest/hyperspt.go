@@ -14,17 +14,34 @@ import (
 //
 // The struct owns reusable workspaces so that Algorithm 2, which grows trees
 // from every node over many rounds, allocates nothing per growth after the
-// first.
+// first. Construction also flattens the hypergraph's incidence and pin lists
+// into CSR arrays and packs the per-node search state into one record, so
+// the relaxation loop — FLOW's hottest code — walks contiguous memory
+// instead of chasing per-node slice headers across four parallel arrays.
 type HyperSPT struct {
-	h      *hypergraph.Hypergraph
-	dist   []float64
-	via    []int32 // net that settled each node; -1 for the root
-	parent []int32 // pin of via-net already in the tree; -1 for the root
-	state  []uint8 // 0 untouched, 1 in heap, 2 settled
+	h     *hypergraph.Hypergraph
+	nodes []sptNode
+
+	// CSR copies of h's incidence (node -> nets) and pin (net -> nodes)
+	// lists; indexes are int32 since netlists are well under 2^31 objects.
+	incStart []int32
+	incList  []int32
+	pinStart []int32
+	pinList  []int32
+
 	netGen []uint32
 	gen    uint32
 	heap   *pqueue.IndexedMinHeap
 	touch  []int32 // nodes whose state must be reset before the next growth
+}
+
+// sptNode is the per-node search state, packed so one settle or relaxation
+// touches a single cache line instead of four arrays.
+type sptNode struct {
+	dist   float64
+	via    int32 // net that settled the node; -1 for the root
+	parent int32 // pin of via-net already in the tree; -1 for the root
+	state  uint8 // 0 untouched, 1 in heap, 2 settled
 }
 
 // Visit describes one settled node during SPT growth.
@@ -38,15 +55,40 @@ type Visit struct {
 // NewHyperSPT returns a grower bound to h.
 func NewHyperSPT(h *hypergraph.Hypergraph) *HyperSPT {
 	n := h.NumNodes()
-	return &HyperSPT{
-		h:      h,
-		dist:   make([]float64, n),
-		via:    make([]int32, n),
-		parent: make([]int32, n),
-		state:  make([]uint8, n),
-		netGen: make([]uint32, h.NumNets()),
-		heap:   pqueue.New(n),
+	m := h.NumNets()
+	s := &HyperSPT{
+		h:        h,
+		nodes:    make([]sptNode, n),
+		incStart: make([]int32, n+1),
+		pinStart: make([]int32, m+1),
+		netGen:   make([]uint32, m),
+		heap:     pqueue.New(n),
 	}
+	inc := 0
+	for v := 0; v < n; v++ {
+		s.incStart[v] = int32(inc)
+		inc += len(h.Incident(hypergraph.NodeID(v)))
+	}
+	s.incStart[n] = int32(inc)
+	s.incList = make([]int32, 0, inc)
+	for v := 0; v < n; v++ {
+		for _, e := range h.Incident(hypergraph.NodeID(v)) {
+			s.incList = append(s.incList, int32(e))
+		}
+	}
+	pins := 0
+	for e := 0; e < m; e++ {
+		s.pinStart[e] = int32(pins)
+		pins += len(h.Pins(hypergraph.NetID(e)))
+	}
+	s.pinStart[m] = int32(pins)
+	s.pinList = make([]int32, 0, pins)
+	for e := 0; e < m; e++ {
+		for _, u := range h.Pins(hypergraph.NetID(e)) {
+			s.pinList = append(s.pinList, int32(u))
+		}
+	}
+	return s
 }
 
 // Grow runs Dijkstra from root with net lengths given by length, invoking
@@ -58,59 +100,82 @@ func NewHyperSPT(h *hypergraph.Hypergraph) *HyperSPT {
 // length must return non-negative values and be stable for the duration of
 // the call.
 func (s *HyperSPT) Grow(root hypergraph.NodeID, length func(hypergraph.NetID) float64, visit func(Visit) bool) int {
+	return s.grow(root, nil, length, visit)
+}
+
+// GrowLengths is Grow with the per-net lengths supplied as a slice indexed
+// by NetID instead of a function. It produces exactly the same tree and
+// visit sequence as Grow with length = func(e) { return lengths[e] }, but
+// the relaxation loop — the hottest path of Algorithm 2, where a length is
+// read for every scanned net — indexes the slice directly instead of paying
+// an indirect call per net.
+//
+// lengths must have one non-negative entry per net and stay unmodified for
+// the duration of the call.
+func (s *HyperSPT) GrowLengths(root hypergraph.NodeID, lengths []float64, visit func(Visit) bool) int {
+	return s.grow(root, lengths, nil, visit)
+}
+
+// grow is the shared Dijkstra core: lengths (fast path) takes precedence
+// over length (closure path) when non-nil.
+func (s *HyperSPT) grow(root hypergraph.NodeID, lengths []float64, length func(hypergraph.NetID) float64, visit func(Visit) bool) int {
 	s.reset()
 	s.gen++
-	s.dist[root] = 0
-	s.via[root] = -1
-	s.parent[root] = -1
-	s.state[root] = 1
+	nodes := s.nodes
+	netGen, gen, heap := s.netGen, s.gen, s.heap
+	incStart, incList := s.incStart, s.incList
+	pinStart, pinList := s.pinStart, s.pinList
+	nodes[root] = sptNode{dist: 0, via: -1, parent: -1, state: 1}
 	s.touch = append(s.touch, int32(root))
-	s.heap.Push(int(root), 0)
+	heap.Push(int(root), 0)
 
 	settled := 0
-	for s.heap.Len() > 0 {
-		vi, dv := s.heap.Pop()
-		v := hypergraph.NodeID(vi)
-		if s.state[v] == 2 {
+	for heap.Len() > 0 {
+		vi, dv := heap.Pop()
+		nv := &nodes[vi]
+		if nv.state == 2 {
 			continue
 		}
-		s.state[v] = 2
+		nv.state = 2
 		settled++
 		keep := visit(Visit{
-			Node:   v,
+			Node:   hypergraph.NodeID(vi),
 			Dist:   dv,
-			Via:    hypergraph.NetID(s.via[v]),
-			Parent: hypergraph.NodeID(s.parent[v]),
+			Via:    hypergraph.NetID(nv.via),
+			Parent: hypergraph.NodeID(nv.parent),
 		})
 		if !keep {
 			break
 		}
-		for _, e := range s.h.Incident(v) {
+		for _, e := range incList[incStart[vi]:incStart[vi+1]] {
 			// The first settled pin of a net offers the minimal distance
 			// through it (later-settled pins only have larger distances),
 			// so each net needs scanning exactly once.
-			if s.netGen[e] == s.gen {
+			if netGen[e] == gen {
 				continue
 			}
-			s.netGen[e] = s.gen
-			le := length(e)
+			netGen[e] = gen
+			var le float64
+			if lengths != nil {
+				le = lengths[e]
+			} else {
+				le = length(hypergraph.NetID(e))
+			}
 			nd := dv + le
-			for _, u := range s.h.Pins(e) {
-				if s.state[u] == 2 || u == v {
+			for _, u := range pinList[pinStart[e]:pinStart[e+1]] {
+				nu := &nodes[u]
+				if nu.state == 2 || int(u) == vi {
 					continue
 				}
-				if s.state[u] == 0 {
-					s.state[u] = 1
-					s.dist[u] = nd
-					s.via[u] = int32(e)
-					s.parent[u] = int32(v)
-					s.touch = append(s.touch, int32(u))
-					s.heap.Push(int(u), nd)
-				} else if nd < s.dist[u] {
-					s.dist[u] = nd
-					s.via[u] = int32(e)
-					s.parent[u] = int32(v)
-					s.heap.DecreaseKey(int(u), nd)
+				if nu.state == 0 {
+					*nu = sptNode{dist: nd, via: e, parent: int32(vi), state: 1}
+					s.touch = append(s.touch, u)
+					heap.Push(int(u), nd)
+				} else if nd < nu.dist {
+					nu.dist = nd
+					nu.via = e
+					nu.parent = int32(vi)
+					heap.DecreaseKey(int(u), nd)
 				}
 			}
 		}
@@ -120,11 +185,11 @@ func (s *HyperSPT) Grow(root hypergraph.NodeID, length func(hypergraph.NetID) fl
 
 // Dist returns the distance of v recorded by the last Grow; meaningful only
 // for nodes that were settled or reached.
-func (s *HyperSPT) Dist(v hypergraph.NodeID) float64 { return s.dist[v] }
+func (s *HyperSPT) Dist(v hypergraph.NodeID) float64 { return s.nodes[v].dist }
 
 func (s *HyperSPT) reset() {
 	for _, v := range s.touch {
-		s.state[v] = 0
+		s.nodes[v].state = 0
 	}
 	s.touch = s.touch[:0]
 	s.heap.Reset()

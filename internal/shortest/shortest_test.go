@@ -317,3 +317,73 @@ func BenchmarkHyperSPTGrow(b *testing.B) {
 		s.Grow(hypergraph.NodeID(i%1000), length, func(Visit) bool { return true })
 	}
 }
+
+// TestGrowLengthsMatchesGrow checks the de-virtualized hot path: for random
+// hypergraphs and every root, GrowLengths with a lengths slice must produce
+// exactly the visit sequence of Grow with the equivalent closure — same
+// nodes, same order, same distances, same tree edges.
+func TestGrowLengthsMatchesGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 20; trial++ {
+		h := randomHypergraph(rng, 3+rng.Intn(30), 2+rng.Intn(50))
+		lengths := make([]float64, h.NumNets())
+		for e := range lengths {
+			lengths[e] = rng.Float64() * 3
+		}
+		length := func(e hypergraph.NetID) float64 { return lengths[e] }
+		sa := NewHyperSPT(h)
+		sb := NewHyperSPT(h)
+		for root := 0; root < h.NumNodes(); root++ {
+			var va, vb []Visit
+			na := sa.Grow(hypergraph.NodeID(root), length, func(v Visit) bool {
+				va = append(va, v)
+				return true
+			})
+			nb := sb.GrowLengths(hypergraph.NodeID(root), lengths, func(v Visit) bool {
+				vb = append(vb, v)
+				return true
+			})
+			if na != nb || len(va) != len(vb) {
+				t.Fatalf("trial %d root %d: settled %d vs %d", trial, root, na, nb)
+			}
+			for i := range va {
+				if va[i] != vb[i] {
+					t.Fatalf("trial %d root %d visit %d: %+v vs %+v", trial, root, i, va[i], vb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGrowLengthsEarlyStop checks the stop-on-false contract carries over.
+func TestGrowLengthsEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	h := randomHypergraph(rng, 20, 30)
+	lengths := make([]float64, h.NumNets())
+	for e := range lengths {
+		lengths[e] = 1 + rng.Float64()
+	}
+	s := NewHyperSPT(h)
+	seen := 0
+	settled := s.GrowLengths(0, lengths, func(v Visit) bool {
+		seen++
+		return seen < 5
+	})
+	if settled != 5 || seen != 5 {
+		t.Fatalf("settled %d, seen %d; want 5, 5", settled, seen)
+	}
+}
+
+func BenchmarkHyperSPTGrowLengths(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomHypergraph(rng, 2000, 4000)
+	lengths := make([]float64, h.NumNets())
+	for e := range lengths {
+		lengths[e] = rng.Float64()
+	}
+	s := NewHyperSPT(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GrowLengths(hypergraph.NodeID(i%h.NumNodes()), lengths, func(v Visit) bool { return true })
+	}
+}
