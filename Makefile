@@ -13,9 +13,9 @@ vet:
 
 # Race-detector pass over the packages with concurrency: parallel FLOW
 # iterations, the batched parallel metric engine, the SPT growers it shares,
-# and the hot cancellation paths.
+# the hot cancellation paths, and the telemetry funnel.
 race:
-	$(GO) test -race ./internal/htp/ ./internal/inject/ ./internal/shortest/
+	$(GO) test -race ./internal/htp/ ./internal/inject/ ./internal/shortest/ ./internal/obs/
 
 # Full pre-merge gate: build, vet, unit tests, race pass.
 check: build vet test race

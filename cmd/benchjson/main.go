@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,8 +44,32 @@ func main() {
 	out := flag.String("o", "", "output file; empty = stdout")
 	flag.Parse()
 
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse reads `go test -bench` text output and builds the Report: header
+// context lines fill the environment fields, benchmark result lines become
+// Results in input order, and anything unrecognized (PASS/FAIL, test logs,
+// garbled lines) is skipped rather than treated as an error.
+func parse(in io.Reader) (Report, error) {
 	rep := Report{Results: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -63,22 +88,7 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
-	}
+	return rep, sc.Err()
 }
 
 // parseLine decodes one benchmark result line of the form

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullBenchOutput(t *testing.T) {
+	const in = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkAlg2Scaling/n2048/w1-8         	       3	 412345678 ns/op	       987 cost
+BenchmarkAlg2Scaling/n2048/w8-8         	       9	 112345678 ns/op	       987 cost
+BenchmarkDisabledObserver-8             	1000000000	         0.2503 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.345s
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" || rep.CPU != "Intel(R) Xeon(R)" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	// Sub-benchmark paths survive whole, GOMAXPROCS suffix included.
+	r := rep.Results[0]
+	if r.Name != "BenchmarkAlg2Scaling/n2048/w1-8" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Iters != 3 {
+		t.Fatalf("iters = %d", r.Iters)
+	}
+	if r.Metrics["ns/op"] != 412345678 || r.Metrics["cost"] != 987 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	// -benchmem unit pairs all land in the map.
+	m := rep.Results[2].Metrics
+	if m["ns/op"] != 0.2503 || m["B/op"] != 0 || m["allocs/op"] != 0 {
+		t.Fatalf("benchmem metrics = %v", m)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	const in = `BenchmarkNoIters-8	notanumber	123 ns/op
+BenchmarkTooShort-8	42
+BenchmarkNoUnits-8	42	elephant giraffe
+Benchmark
+some stray log line
+BenchmarkGood/sub-8	100	50.5 ns/op
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want only the good line: %+v", len(rep.Results), rep.Results)
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkGood/sub-8" || r.Iters != 100 || r.Metrics["ns/op"] != 50.5 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results == nil || len(rep.Results) != 0 {
+		t.Fatalf("want empty non-nil results, got %#v", rep.Results)
+	}
+}

@@ -18,8 +18,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,28 +35,39 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/inject"
 	"repro/internal/metric"
+	"repro/internal/obs"
 )
 
 var (
-	quick   = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
-	seed    = flag.Int64("seed", 1, "master random seed")
-	flowN   = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
-	workers = flag.Int("workers", 1, "concurrent tree growths in Algorithm 2; 1 = exact sequential (the recorded runs), 0 = NumCPU")
-	timeout = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited")
+	quick    = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
+	seed     = flag.Int64("seed", 1, "master random seed")
+	flowN    = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+	workers  = flag.Int("workers", 1, "concurrent tree growths in Algorithm 2; 1 = exact sequential (the recorded runs), 0 = NumCPU")
+	timeout  = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited")
+	trace    = flag.String("trace", "", "write JSONL trace events from every solver call to this file")
+	logLevel = flag.String("log-level", "", "log trace events to stderr via slog: debug, info, warn, error")
+	report   = flag.String("report", "", "write an aggregate JSON report (all solver calls) to this file on exit")
 
 	// runCtx governs every solver call; set in main, cancelled by -timeout
 	// or SIGINT.
 	runCtx = context.Background()
+
+	// observer fans trace events from every solver call into the sinks
+	// built in main from -trace/-log-level/-report; nil when all are off.
+	observer obs.Observer
 )
 
 // injectOpts returns the Algorithm 2 options every section uses, carrying
-// the -workers choice.
-func injectOpts() inject.Options { return inject.Options{Workers: *workers} }
+// the -workers choice. The observer only reaches standalone metric calls:
+// FLOW overrides it (like Rng) with its own per-iteration observer.
+func injectOpts() inject.Options {
+	return inject.Options{Workers: *workers, Observer: observer}
+}
 
 // flowOpts returns FLOW options with the shared iteration count, seed, and
 // injection settings.
 func flowOpts(n int) htp.FlowOptions {
-	return htp.FlowOptions{Iterations: n, Seed: *seed, Inject: injectOpts()}
+	return htp.FlowOptions{Iterations: n, Seed: *seed, Inject: injectOpts(), Observer: observer}
 }
 
 func main() {
@@ -68,6 +81,46 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 	defer profiles(*cpuprofile, *memprofile)()
+
+	var sinks []obs.Observer
+	var collector *obs.Collector
+	if *report != "" {
+		collector = obs.NewCollector()
+		sinks = append(sinks, collector)
+		defer func() {
+			rep := collector.Report()
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*report, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: report:", err)
+			}
+		}()
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		js := obs.NewJSONLSink(f)
+		defer func() {
+			if err := js.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			}
+			f.Close()
+		}()
+		sinks = append(sinks, js)
+	}
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+		}
+		sinks = append(sinks, obs.NewSlogSink(slog.New(
+			slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))))
+	}
+	observer = obs.Multi(sinks...)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -184,12 +237,12 @@ func table2and3() {
 		r.flowCPU = time.Since(t0).Seconds()
 		r.flow = fres.Cost
 
-		rres, err := htp.RFMCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed})
+		rres, err := htp.RFMCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed, Observer: observer})
 		if err != nil {
 			fatal(err)
 		}
 		r.rfm = rres.Cost
-		gres, err := htp.GFMCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed})
+		gres, err := htp.GFMCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed, Observer: observer})
 		if err != nil {
 			fatal(err)
 		}
@@ -201,12 +254,12 @@ func table2and3() {
 			fatal(err)
 		}
 		r.flowP, r.flowI = fp.Cost, improvement(fi, fp.Cost)
-		rp, ri, err := htp.RFMPlusCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed}, fm.RefineOptions{})
+		rp, ri, err := htp.RFMPlusCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed, Observer: observer}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
 		r.rfmP, r.rfmI = rp.Cost, improvement(ri, rp.Cost)
-		gp, gi, err := htp.GFMPlusCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed}, fm.RefineOptions{})
+		gp, gi, err := htp.GFMPlusCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed, Observer: observer}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}

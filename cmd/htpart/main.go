@@ -11,18 +11,29 @@
 //
 // With -timeout (or on Ctrl-C) the solvers stop at the deadline and print
 // the best valid partition found so far; the stop line reports why the run
-// ended (converged, max-rounds, deadline, cancelled). The exit status is 0
-// whenever a valid partition is printed.
+// ended (converged, max-rounds, deadline, cancelled) and how the wall time
+// split across phases. The exit status is 0 whenever a valid partition is
+// printed.
+//
+// Telemetry:
+//
+//	htpart -in c.net -trace run.jsonl        # JSONL trace events
+//	htpart -in c.net -log-level debug        # slog events on stderr
+//	htpart -in c.net -progress               # live progress line
+//	htpart -in c.net -report run.json -lb 40 # per-run report + LP bound
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -31,6 +42,8 @@ import (
 	"repro/internal/htp"
 	"repro/internal/hypergraph"
 	"repro/internal/inject"
+	"repro/internal/metric"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -49,6 +62,11 @@ func main() {
 		levels     = flag.Bool("levels", false, "print per-level cost breakdown")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		trace      = flag.String("trace", "", "write JSONL trace events to this file")
+		logLevel   = flag.String("log-level", "", "log trace events to stderr via slog: debug, info, warn, error")
+		progress   = flag.Bool("progress", false, "render a live progress line on stderr")
+		report     = flag.String("report", "", "write a per-run JSON report to this file")
+		lbRounds   = flag.Int("lb", 0, "cutting-plane rounds for the LP lower bound in the report/output (0 = skip; small instances only)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -58,6 +76,40 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 	defer profiles(*cpuprofile, *memprofile)()
+
+	// Telemetry sinks: a collector always runs (it powers the phase-timing
+	// summary and -report), the trace file and slog sinks are opt-in. The
+	// whole stack hangs off the solver options; the collector's per-event
+	// cost is round-level and irrelevant to a CLI run.
+	collector := obs.NewCollector()
+	sinks := []obs.Observer{collector}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		js := obs.NewJSONLSink(f)
+		defer func() {
+			if err := js.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "htpart: trace:", err)
+			}
+			f.Close()
+		}()
+		sinks = append(sinks, js)
+	}
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+		}
+		sinks = append(sinks, obs.NewSlogSink(slog.New(
+			slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))))
+	}
+	observer := obs.Multi(sinks...)
+	var progressFn obs.ProgressFunc
+	if *progress {
+		progressFn = progressLine
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	if *timeout > 0 {
@@ -87,7 +139,7 @@ func main() {
 	switch base {
 	case "flow":
 		opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed,
-			Inject: inject.Options{Workers: *workers}}
+			Inject: inject.Options{Workers: *workers}, Observer: observer, Progress: progressFn}
 		if plus {
 			res, initial, err = htp.FlowPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
@@ -97,7 +149,9 @@ func main() {
 			}
 		}
 	case "rfm":
-		opt := htp.RFMOptions{Seed: *seed}
+		// RFM/GFM take no ProgressFunc of their own; fold it into the sink.
+		opt := htp.RFMOptions{Seed: *seed,
+			Observer: obs.Multi(observer, obs.ProgressObserver(progressFn))}
 		if plus {
 			res, initial, err = htp.RFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
@@ -107,7 +161,8 @@ func main() {
 			}
 		}
 	case "gfm":
-		opt := htp.GFMOptions{Seed: *seed}
+		opt := htp.GFMOptions{Seed: *seed,
+			Observer: obs.Multi(observer, obs.ProgressObserver(progressFn))}
 		if plus {
 			res, initial, err = htp.GFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
 		} else {
@@ -118,6 +173,9 @@ func main() {
 		}
 	default:
 		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if *progress {
+		fmt.Fprint(os.Stderr, "\n") // terminate the live line before results
 	}
 	if err != nil {
 		fatal(err)
@@ -142,6 +200,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "htpart: iteration failure (best-so-far unaffected): %v\n", f)
 	}
 	fmt.Printf("cpu:       %.2fs\n", elapsed.Seconds())
+	rep := collector.Report()
+	if rep.Salvages > 0 {
+		fmt.Printf("salvaged:  %d (partition built from the interrupted metric)\n", rep.Salvages)
+	}
+	phases := make([]string, 0, len(rep.PhaseMS))
+	for ph := range rep.PhaseMS {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		fmt.Printf("phase %-9s %.1fms\n", ph+":", rep.PhaseMS[ph])
+	}
+
+	// Optional certificate: the spreading-metric LP lower bound (Lemma 2)
+	// and the gap it proves. Runs under the same context, so a -timeout
+	// that already fired reports the bound proven so far (possibly 0).
+	var lbValue, gap float64
+	if *lbRounds > 0 {
+		lb, lbErr := metric.ExactLowerBoundCtx(ctx, h, spec, *lbRounds)
+		if lbErr != nil {
+			fmt.Fprintln(os.Stderr, "htpart: lower bound:", lbErr)
+		} else {
+			lbValue = lb.Value
+			if lb.Value > 0 {
+				gap = (res.Cost - lb.Value) / lb.Value
+				fmt.Printf("lower:     %.2f (%s; gap %.1f%%)\n", lb.Value, lb.Stop, 100*gap)
+			} else {
+				fmt.Printf("lower:     %.2f (%s)\n", lb.Value, lb.Stop)
+			}
+		}
+	}
+
+	if *report != "" {
+		rr := runReport{
+			Algorithm:   *algo,
+			Input:       *in,
+			Seed:        *seed,
+			Cost:        res.Cost,
+			WallSeconds: elapsed.Seconds(),
+			LowerBound:  lbValue,
+			Gap:         gap,
+			RunReport:   rep,
+		}
+		if plus {
+			rr.Initial = initial
+		}
+		data, jerr := json.MarshalIndent(rr, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(*report, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "htpart: report:", jerr)
+		}
+	}
+
 	if *levels {
 		for l, c := range res.Partition.LevelCosts() {
 			fmt.Printf("level %d:   %.0f\n", l, c)
@@ -150,6 +263,45 @@ func main() {
 	if *printTree {
 		fmt.Print(res.Partition.String())
 	}
+}
+
+// runReport is the -report JSON document: run identity and headline numbers
+// up front, the collector's event-derived summary (stop reason, phase
+// timings, counters) flattened alongside.
+type runReport struct {
+	Algorithm   string  `json:"algorithm"`
+	Input       string  `json:"input"`
+	Seed        int64   `json:"seed"`
+	Cost        float64 `json:"cost"`
+	Initial     float64 `json:"initial,omitempty"`
+	LowerBound  float64 `json:"lower_bound,omitempty"`
+	Gap         float64 `json:"gap,omitempty"`
+	WallSeconds float64 `json:"wall_s"`
+	obs.RunReport
+}
+
+// progressLine renders the live one-line status on stderr, rewriting in
+// place; main prints the terminating newline once the solver returns.
+func progressLine(p obs.Progress) {
+	var b strings.Builder
+	b.WriteString("\r\x1b[K")
+	b.WriteString(p.Phase)
+	if p.Iter > 0 {
+		fmt.Fprintf(&b, " iter %d", p.Iter)
+	}
+	if p.Round > 0 {
+		fmt.Fprintf(&b, " round %d", p.Round)
+	}
+	if p.Phase == "metric" {
+		fmt.Fprintf(&b, " active %d inj %d", p.Active, p.Injections)
+	}
+	if p.HaveBest {
+		fmt.Fprintf(&b, " best %.0f", p.BestCost)
+	}
+	if p.Stop != "" {
+		fmt.Fprintf(&b, " (%s)", p.Stop)
+	}
+	fmt.Fprint(os.Stderr, b.String())
 }
 
 // profiles starts a CPU profile and arranges a heap profile, returning the

@@ -22,6 +22,8 @@ package repro
 
 import (
 	"context"
+	"io"
+	"log/slog"
 
 	"repro/internal/anytime"
 	"repro/internal/circuits"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/inject"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/ratiocut"
 	"repro/internal/treemap"
 )
@@ -70,6 +73,63 @@ var (
 	// ErrNoPartition: the run ended before any valid partition existed.
 	ErrNoPartition = anytime.ErrNoPartition
 )
+
+// ---- Telemetry (internal/obs) ----
+//
+// Every solver option struct (FlowOptions, InjectOptions, RFMOptions,
+// GFMOptions, RefineOptions, TreeMapOptions) carries an Observer field;
+// FlowOptions additionally takes a ProgressFunc. Telemetry is observe-only
+// and zero-cost when disabled: with a nil Observer the solvers pay one nil
+// check per round and allocate nothing, and attaching one cannot change
+// any computed result. Runs also tick expvar process counters —
+// "htp.metric.rounds", "htp.metric.injections", "htp.metric.growths",
+// "htp.solver.salvages" — for long-running services.
+
+// Observer consumes solver trace events. Implementations need no locking:
+// solvers emit from one goroutine, funnelling parallel work first.
+type Observer = obs.Observer
+
+// TraceEvent is one telemetry record; TraceKind names its type
+// ("metric-round", "build-done", "stop", ...). The JSONL schema is the
+// JSON encoding of TraceEvent, one object per line.
+type (
+	TraceEvent = obs.Event
+	TraceKind  = obs.Kind
+)
+
+// ProgressFunc receives coarse Progress snapshots (phase, round, best
+// cost) at round-level frequency — the lightweight alternative to a full
+// Observer for live display.
+type (
+	ProgressFunc = obs.ProgressFunc
+	Progress     = obs.Progress
+)
+
+// JSONLTrace writes events as JSON Lines — the `htpart -trace` format.
+// Call Flush when the run is done.
+type JSONLTrace = obs.JSONLSink
+
+// NewJSONLTrace returns a trace sink writing JSON Lines to w.
+func NewJSONLTrace(w io.Writer) *JSONLTrace { return obs.NewJSONLSink(w) }
+
+// NewSlogObserver returns an observer logging events through l
+// (slog.Default() when nil): round-level events at Debug, completions and
+// the terminal stop at Info.
+func NewSlogObserver(l *slog.Logger) Observer { return obs.NewSlogSink(l) }
+
+// MultiObserver fans events out to several observers; nil entries drop.
+func MultiObserver(sinks ...Observer) Observer { return obs.Multi(sinks...) }
+
+// RunCollector folds an event stream into a RunReport (final cost, stop
+// reason, per-phase wall time, round/injection totals) — the per-run JSON
+// report the CLIs emit.
+type (
+	RunCollector = obs.Collector
+	RunReport    = obs.RunReport
+)
+
+// NewRunCollector returns an empty run collector.
+func NewRunCollector() *RunCollector { return obs.NewCollector() }
 
 // ---- Netlist model (internal/hypergraph) ----
 

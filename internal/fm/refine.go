@@ -3,9 +3,11 @@ package fm
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // RefineOptions tunes the hierarchical improvement.
@@ -14,6 +16,11 @@ type RefineOptions struct {
 	MaxPasses int
 	// Rng orders the sweep. Defaults to a fixed seed.
 	Rng *rand.Rand
+	// Observer receives one refine-pass event per pass (cost after the
+	// pass) and a terminal "refine" span with the total elapsed time. The
+	// *Plus solvers forward their run observer here automatically. Nil
+	// disables telemetry at zero cost.
+	Observer obs.Observer
 }
 
 func (o RefineOptions) withDefaults() RefineOptions {
@@ -49,6 +56,17 @@ func RefineHierarchicalCtx(ctx context.Context, p *hierarchy.Partition, opt Refi
 	opt = opt.withDefaults()
 	cs := hierarchy.NewCostState(p)
 	initial := cs.Cost()
+
+	var t0 time.Time
+	if opt.Observer != nil {
+		t0 = time.Now()
+		// The span is emitted on every exit path (cancellation included) so
+		// run reports always attribute refinement time.
+		defer func() {
+			obs.Emit(opt.Observer, obs.Event{Kind: obs.KindSpan, Phase: "refine",
+				Cost: cs.Cost(), ElapsedMS: obs.Millis(time.Since(t0))})
+		}()
+	}
 
 	n := p.H.NumNodes()
 	order := make([]int, n)
@@ -90,6 +108,10 @@ func RefineHierarchicalCtx(ctx context.Context, p *hierarchy.Partition, opt Refi
 				cs.Apply(v, bestLeaf)
 				improved = true
 			}
+		}
+		if opt.Observer != nil {
+			obs.Emit(opt.Observer, obs.Event{Kind: obs.KindRefinePass, Round: pass + 1,
+				Cost: cs.Cost(), ElapsedMS: obs.Millis(time.Since(t0))})
 		}
 		if !improved {
 			break

@@ -7,12 +7,14 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
 	"repro/internal/inject"
+	"repro/internal/obs"
 )
 
 // Result reports the outcome of a partitioning run.
@@ -31,7 +33,11 @@ type Result struct {
 	// whose siblings still produced the result. Empty on a clean run.
 	Failures []error
 	// MetricStats aggregates the flow-injection work over all iterations
-	// (FLOW only). Converged is the AND across iterations.
+	// (FLOW only): Rounds, Injections, and TreeNets sum across iterations,
+	// MaxFlow is the maximum, and Converged is the AND — one unconverged
+	// metric marks the whole run, while iterations that never produced
+	// stats (cancelled or crashed before the metric ran) are excluded from
+	// all of it. Identical between sequential and Parallel runs.
 	MetricStats inject.Stats
 }
 
@@ -56,6 +62,19 @@ type FlowOptions struct {
 	// The iterations are embarrassingly parallel: each computes its own
 	// metric and partitions. Off by default.
 	Parallel bool
+	// Observer receives the run's trace events (see internal/obs):
+	// per-round and per-metric events tagged with their iteration,
+	// build-done and iter-done completions, best-so-far updates, salvage
+	// events, and exactly one terminal stop event. Inject.Observer is
+	// overridden by the run's iteration-tagged observer, like Inject.Rng.
+	// With Parallel set, events are funnelled through one goroutine, so
+	// the observer needs no locking. Nil disables telemetry at zero cost.
+	Observer obs.Observer
+	// Progress, if non-nil, is called with coarse progress snapshots
+	// (phase, round, best cost) at round-level frequency — a lightweight
+	// alternative to a full Observer for live display. Called from a
+	// single goroutine even when Parallel is set.
+	Progress obs.ProgressFunc
 }
 
 func (o FlowOptions) withDefaults() FlowOptions {
@@ -115,6 +134,21 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("htp: flow not started: %w", errors.Join(anytime.ErrNoPartition, context.Cause(ctx)))
 	}
+	// Telemetry: one sink for the whole run. With Parallel the iteration
+	// goroutines all emit, so the sink goes behind a funnel and receives
+	// events from a single forwarding goroutine; sinks never need locks.
+	// All of this is skipped — sink stays nil, emission sites reduce to a
+	// nil check — when neither an Observer nor a Progress func is set.
+	sink := obs.Multi(opt.Observer, obs.ProgressObserver(opt.Progress))
+	var start time.Time
+	if sink != nil {
+		start = time.Now()
+		if opt.Parallel {
+			funnel := obs.NewFunnel(sink)
+			defer funnel.Close()
+			sink = funnel
+		}
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	type iterSeeds struct {
@@ -145,8 +179,14 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 		if ctx.Err() != nil {
 			return // cancelled before this iteration started
 		}
+		iterObs := obs.WithIter(sink, i+1)
+		var it0 time.Time
+		if iterObs != nil {
+			it0 = time.Now()
+		}
 		injOpt := opt.Inject
 		injOpt.Rng = rand.New(rand.NewSource(seeds[i].inject))
+		injOpt.Observer = iterObs
 		m, st, err := inject.ComputeMetricCtx(ctx, h, spec, injOpt)
 		if m != nil {
 			out.stats, out.ranMetric = st, true
@@ -158,7 +198,20 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 				// (paper §3.3), so this runs to completion regardless of the
 				// context and turns the work already sunk into a valid
 				// best-so-far candidate.
+				var bt time.Time
+				if iterObs != nil {
+					bt = time.Now()
+				}
 				salvageBuild(out, h, spec, m.D, opt.Build, seeds[i].builds[0])
+				obs.Salvages.Add(1)
+				if iterObs != nil {
+					ev := obs.Event{Kind: obs.KindSalvage, Salvaged: true,
+						Cost: out.cost, ElapsedMS: obs.Millis(time.Since(bt))}
+					if out.buildErr != nil {
+						ev.Detail = out.buildErr.Error()
+					}
+					obs.Emit(iterObs, ev)
+				}
 				return
 			}
 			out.injectErr = err
@@ -178,6 +231,10 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 			}
 			bOpt := opt.Build
 			bOpt.Rng = rand.New(rand.NewSource(seeds[i].builds[c]))
+			var bt time.Time
+			if iterObs != nil {
+				bt = time.Now()
+			}
 			p, err := BuildCtx(buildCtx, h, spec, m.D, bOpt)
 			if err != nil {
 				if out.buildErr == nil {
@@ -191,9 +248,21 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 				}
 				continue
 			}
-			if cost := p.Cost(); out.partition == nil || cost < out.cost {
+			cost := p.Cost()
+			if iterObs != nil {
+				obs.Emit(iterObs, obs.Event{Kind: obs.KindBuildDone,
+					Cost: cost, ElapsedMS: obs.Millis(time.Since(bt))})
+			}
+			if out.partition == nil || cost < out.cost {
 				out.partition, out.cost = p, cost
 			}
+		}
+		if iterObs != nil {
+			ev := obs.Event{Kind: obs.KindIterDone, ElapsedMS: obs.Millis(time.Since(it0))}
+			if out.partition != nil {
+				ev.Cost = out.cost
+			}
+			obs.Emit(iterObs, ev)
 		}
 	}
 
@@ -223,6 +292,7 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 		if err := outs[i].injectErr; err != nil {
 			// Fatal for the whole run: a bad spec or oversized node fails
 			// every iteration identically.
+			emitStop(sink, "error", 0, start, err)
 			return nil, err
 		}
 		if err := outs[i].panicErr; err != nil {
@@ -253,6 +323,12 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 		if outs[i].partition != nil && (best.Partition == nil || outs[i].cost < best.Cost) {
 			best.Partition = outs[i].partition
 			best.Cost = outs[i].cost
+			if sink != nil {
+				// Best-so-far updates are emitted here, in canonical
+				// iteration order, so parallel and sequential runs trace the
+				// same improvement sequence.
+				obs.Emit(sink, obs.Event{Kind: obs.KindBest, Iter: i + 1, Cost: best.Cost})
+			}
 		}
 	}
 	best.MetricStats.Converged = converged
@@ -265,7 +341,9 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 		if ctx.Err() != nil {
 			join = append(join, context.Cause(ctx))
 		}
-		return nil, fmt.Errorf("htp: %w", errors.Join(join...))
+		err := fmt.Errorf("htp: %w", errors.Join(join...))
+		emitStop(sink, "error", 0, start, err)
+		return nil, err
 	}
 	switch {
 	case ctx.Err() != nil:
@@ -275,7 +353,23 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 	default:
 		best.Stop = anytime.StopConverged
 	}
+	emitStop(sink, string(best.Stop), best.Cost, start, nil)
 	return best, nil
+}
+
+// emitStop emits the run's single terminal stop event: the stop reason (or
+// "error"), the final best cost, and the whole-run wall time. No-op when
+// telemetry is off.
+func emitStop(sink obs.Observer, reason string, cost float64, start time.Time, err error) {
+	if sink == nil {
+		return
+	}
+	ev := obs.Event{Kind: obs.KindStop, Reason: reason, Cost: cost,
+		ElapsedMS: obs.Millis(time.Since(start))}
+	if err != nil {
+		ev.Detail = err.Error()
+	}
+	obs.Emit(sink, ev)
 }
 
 // salvageBuild runs one construction from a (possibly partial) metric under
@@ -306,18 +400,33 @@ func FlowPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions, re
 // it improves the partition in place and every intermediate state is valid
 // — so an interrupted refinement simply returns the best cost reached.
 func FlowPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt FlowOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	// The composed run owns the terminal stop: the constructive stage's own
+	// stop is suppressed and one stop is emitted after refinement, keeping
+	// the exactly-one-stop-last trace contract for "+" runs too.
+	sink := obs.Multi(opt.Observer, obs.ProgressObserver(opt.Progress))
+	var start time.Time
+	if sink != nil {
+		start = time.Now()
+		opt.Observer = obs.SuppressStop(sink)
+		opt.Progress = nil
+	}
 	res, err := FlowCtx(ctx, h, spec, opt)
 	if err != nil {
+		emitStop(sink, "error", 0, start, err)
 		return nil, 0, err
 	}
 	initial := res.Cost
 	if ref.Rng == nil {
 		ref.Rng = rand.New(rand.NewSource(opt.withDefaults().Seed + 7))
 	}
+	if ref.Observer == nil {
+		ref.Observer = sink
+	}
 	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost
 	if stop := anytime.FromContext(ctx); stop != "" {
 		res.Stop = stop
 	}
+	emitStop(sink, string(res.Stop), res.Cost, start, nil)
 	return res, initial, nil
 }

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // GFMOptions tunes the GFM baseline.
@@ -18,6 +20,10 @@ type GFMOptions struct {
 	Seed int64
 	// FM forwards options to the bottom-level bisection.
 	FM fm.BiOptions
+	// Observer receives gfm-bisect/gfm-merge span, build-done, and
+	// terminal stop trace events (see internal/obs); GFMPlus forwards it
+	// to refinement. Nil disables telemetry at zero cost.
+	Observer obs.Observer
 }
 
 // gfmGroup is a cluster of lower-level blocks being grown bottom-up.
@@ -68,7 +74,17 @@ func GFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 	if err := gfmInterrupted(ctx); err != nil {
 		return nil, err
 	}
+	var t0, phase time.Time
+	if opt.Observer != nil {
+		t0 = time.Now()
+		phase = t0
+	}
 	blockOf, numBlocks := fm.RecursiveBisection(h, spec.Capacity[0], fmOpt)
+	if opt.Observer != nil {
+		obs.Emit(opt.Observer, obs.Event{Kind: obs.KindSpan, Phase: "gfm-bisect",
+			ElapsedMS: obs.Millis(time.Since(phase))})
+		phase = time.Now()
+	}
 	level0 := make([]gfmGroup, numBlocks)
 	for v := 0; v < h.NumNodes(); v++ {
 		b := blockOf[v]
@@ -86,6 +102,7 @@ func GFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 		level0, groupOf, err = greedyMerge(ctx, h, level0, groupOf, targets[0],
 			func(a, b gfmGroup) bool { return a.size+b.size <= spec.Capacity[0] }, true)
 		if err != nil {
+			emitStop(opt.Observer, "error", 0, t0, err)
 			return nil, err
 		}
 	}
@@ -108,9 +125,14 @@ func GFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 					a.size+b.size <= spec.Capacity[l]
 			}, false)
 		if err != nil {
+			emitStop(opt.Observer, "error", 0, t0, err)
 			return nil, err
 		}
 		levels = append(levels, cur)
+	}
+	if opt.Observer != nil {
+		obs.Emit(opt.Observer, obs.Event{Kind: obs.KindSpan, Phase: "gfm-merge",
+			ElapsedMS: obs.Millis(time.Since(phase))})
 	}
 
 	// Assemble the layered tree.
@@ -139,10 +161,18 @@ func GFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 		}
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("htp: GFM partition invalid: %w",
+		err = fmt.Errorf("htp: GFM partition invalid: %w",
 			errors.Join(anytime.ErrNoPartition, err))
+		emitStop(opt.Observer, "error", 0, t0, err)
+		return nil, err
 	}
-	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1, Stop: anytime.StopConverged}, nil
+	res := &Result{Partition: p, Cost: p.Cost(), Iterations: 1, Stop: anytime.StopConverged}
+	if opt.Observer != nil {
+		obs.Emit(opt.Observer, obs.Event{Kind: obs.KindBuildDone,
+			Cost: res.Cost, ElapsedMS: obs.Millis(time.Since(t0))})
+		emitStop(opt.Observer, string(res.Stop), res.Cost, t0, nil)
+	}
+	return res, nil
 }
 
 // gfmInterrupted reports the context error to surface, nil while live.
@@ -276,18 +306,30 @@ func GFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref 
 // GFMPlusCtx is GFMPlus under a context; an interrupted refinement returns
 // the best cost reached (every intermediate refinement state is valid).
 func GFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	// The composed run owns the terminal stop (see FlowPlusCtx).
+	sink := opt.Observer
+	var start time.Time
+	if sink != nil {
+		start = time.Now()
+		opt.Observer = obs.SuppressStop(sink)
+	}
 	res, err := GFMCtx(ctx, h, spec, opt)
 	if err != nil {
+		emitStop(sink, "error", 0, start, err)
 		return nil, 0, err
 	}
 	initial := res.Cost
 	if ref.Rng == nil {
 		ref.Rng = rand.New(rand.NewSource(opt.Seed + 7))
 	}
+	if ref.Observer == nil {
+		ref.Observer = sink
+	}
 	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost
 	if stop := anytime.FromContext(ctx); stop != "" {
 		res.Stop = stop
 	}
+	emitStop(sink, string(res.Stop), res.Cost, start, nil)
 	return res, initial, nil
 }

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // RFMOptions tunes the RFM baseline.
@@ -20,6 +22,10 @@ type RFMOptions struct {
 	FM fm.BiOptions
 	// FixedLB mirrors BuildOptions.FixedLB.
 	FixedLB bool
+	// Observer receives build-done and terminal stop trace events (see
+	// internal/obs); RFMPlus forwards it to refinement. Nil disables
+	// telemetry at zero cost.
+	Observer obs.Observer
 }
 
 // RFM is the top-down recursive baseline of Kuo, Liu & Cheng (DAC'96): the
@@ -40,6 +46,10 @@ func RFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	var t0 time.Time
+	if opt.Observer != nil {
+		t0 = time.Now()
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	engine := func(sub *hypergraph.Hypergraph, _ []float64, lb, ub int64, rng *rand.Rand) []hypergraph.NodeID {
 		return fmCarve(sub, lb, ub, opt.FM, rng)
@@ -52,13 +62,22 @@ func RFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 		CarveAttempts: 1, // the FM engine is already a full local search
 	})
 	if err != nil {
+		emitStop(opt.Observer, "error", 0, t0, err)
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("htp: RFM partition invalid: %w",
+		err = fmt.Errorf("htp: RFM partition invalid: %w",
 			errors.Join(anytime.ErrNoPartition, err))
+		emitStop(opt.Observer, "error", 0, t0, err)
+		return nil, err
 	}
-	return &Result{Partition: p, Cost: p.Cost(), Iterations: 1, Stop: anytime.StopConverged}, nil
+	res := &Result{Partition: p, Cost: p.Cost(), Iterations: 1, Stop: anytime.StopConverged}
+	if opt.Observer != nil {
+		obs.Emit(opt.Observer, obs.Event{Kind: obs.KindBuildDone,
+			Cost: res.Cost, ElapsedMS: obs.Millis(time.Since(t0))})
+		emitStop(opt.Observer, string(res.Stop), res.Cost, t0, nil)
+	}
+	return res, nil
 }
 
 // RFMPlus is RFM followed by the hierarchical FM refinement (RFM+).
@@ -69,19 +88,31 @@ func RFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref 
 // RFMPlusCtx is RFMPlus under a context; an interrupted refinement returns
 // the best cost reached (every intermediate refinement state is valid).
 func RFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
+	// The composed run owns the terminal stop (see FlowPlusCtx).
+	sink := opt.Observer
+	var start time.Time
+	if sink != nil {
+		start = time.Now()
+		opt.Observer = obs.SuppressStop(sink)
+	}
 	res, err := RFMCtx(ctx, h, spec, opt)
 	if err != nil {
+		emitStop(sink, "error", 0, start, err)
 		return nil, 0, err
 	}
 	initial := res.Cost
 	if ref.Rng == nil {
 		ref.Rng = rand.New(rand.NewSource(opt.Seed + 7))
 	}
+	if ref.Observer == nil {
+		ref.Observer = sink
+	}
 	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost
 	if stop := anytime.FromContext(ctx); stop != "" {
 		res.Stop = stop
 	}
+	emitStop(sink, string(res.Stop), res.Cost, start, nil)
 	return res, initial, nil
 }
 

@@ -28,11 +28,13 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/anytime"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/shortest"
 )
 
@@ -70,6 +72,13 @@ type Options struct {
 	// — though not the same as the sequential one. Use runtime.NumCPU() for
 	// throughput.
 	Workers int
+	// Observer receives metric-round and metric-done trace events (see
+	// internal/obs). Events are emitted from the calling goroutine only —
+	// the parallel engine's workers never emit — and are observe-only: an
+	// attached observer cannot change the computed metric. Nil (the
+	// default) disables telemetry; the hot path then pays one nil check
+	// per sweep round and allocates nothing.
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +155,9 @@ func ComputeMetricCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierar
 		m:    metric.New(h),
 		flow: make([]float64, h.NumNets()),
 	}
+	if opt.Observer != nil {
+		g.t0 = time.Now()
+	}
 	// Initial lengths. A zero-capacity net is free to cut: the LP can
 	// stretch it arbitrarily at zero objective cost, so it gets maximal
 	// length once here (it contributes c·d = 0 to the metric value) and is
@@ -195,6 +207,19 @@ func ComputeMetricCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierar
 			g.st.MaxFlow = g.flow[e]
 		}
 	}
+	if opt.Observer != nil {
+		// metric-done is emitted on interrupted exits too, so traces of
+		// deadline-stopped runs still account the metric phase.
+		obs.Emit(opt.Observer, obs.Event{
+			Kind:          obs.KindMetricDone,
+			Round:         g.st.Rounds,
+			Injections:    g.st.Injections,
+			TreeNets:      g.st.TreeNets,
+			Converged:     g.st.Converged,
+			MaxCongestion: g.maxCongestion(),
+			ElapsedMS:     obs.Millis(time.Since(g.t0)),
+		})
+	}
 	if g.interrupted {
 		return g.m, g.st, fmt.Errorf("inject: metric computation interrupted after %d rounds, %d injections: %w",
 			g.st.Rounds, g.st.Injections, context.Cause(ctx))
@@ -220,6 +245,47 @@ type engine struct {
 	active      []hypergraph.NodeID
 	st          Stats
 	interrupted bool
+	t0          time.Time // start of the run; zero when no observer
+}
+
+// maxCongestion returns the largest f(e)/c(e) over positive-capacity nets
+// — the quantity the exponential re-lengthening exponentiates. Only called
+// on trace emission (never on the disabled path); an O(nets) scan per
+// round is noise next to the round's tree growths.
+func (g *engine) maxCongestion() float64 {
+	var mc float64
+	for e := range g.flow {
+		if c := g.h.NetCapacity(hypergraph.NetID(e)); c > 0 {
+			if r := g.flow[e] / c; r > mc {
+				mc = r
+			}
+		}
+	}
+	return mc
+}
+
+// endRound ticks the process counters and emits one metric-round trace
+// event after a sweep. grown is the number of tree growths the sweep ran,
+// viols the violated trees it found. With no observer attached the cost is
+// three atomic adds per round.
+func (g *engine) endRound(grown, viols int) {
+	obs.MetricRounds.Add(1)
+	obs.TreeGrowths.Add(int64(grown))
+	obs.MetricInjections.Add(int64(viols))
+	o := g.opt.Observer
+	if o == nil {
+		return
+	}
+	obs.Emit(o, obs.Event{
+		Kind:          obs.KindMetricRound,
+		Round:         g.st.Rounds + 1,
+		Active:        len(g.active),
+		Violations:    viols,
+		Injections:    g.st.Injections,
+		TreeNets:      g.st.TreeNets,
+		MaxCongestion: g.maxCongestion(),
+		ElapsedMS:     obs.Millis(time.Since(g.t0)),
+	})
 }
 
 // relength recomputes d(e) = exp(α·f(e)/c(e)) − 1 after a flow change.
@@ -255,6 +321,7 @@ func (g *engine) runSequential() {
 		opt.Rng.Shuffle(len(g.active), func(i, j int) {
 			g.active[i], g.active[j] = g.active[j], g.active[i]
 		})
+		grown, injBefore := 0, g.st.Injections
 		// Sweep a snapshot of the active set; nodes whose constraints all
 		// hold are removed.
 		for idx := 0; idx < len(g.active); {
@@ -308,6 +375,7 @@ func (g *engine) runSequential() {
 			if g.interrupted {
 				break
 			}
+			grown++
 			if violated {
 				g.st.Injections++
 				g.st.TreeNets += len(treeNets)
@@ -322,6 +390,7 @@ func (g *engine) runSequential() {
 				g.active = g.active[:len(g.active)-1]
 			}
 		}
+		g.endRound(grown, g.st.Injections-injBefore)
 	}
 }
 
@@ -411,6 +480,7 @@ func (g *engine) runParallel() {
 		// index never catches up to the batch being read, and workers only
 		// run between wg.Add and wg.Wait while the coordinator is idle.
 		n := 0
+		grown, injBefore := 0, g.st.Injections
 		for start := 0; start < len(g.active); start += parallelBatch {
 			if g.ctx.Err() != nil {
 				g.interrupted = true
@@ -443,6 +513,7 @@ func (g *engine) runParallel() {
 					g.interrupted = true
 					break
 				}
+				grown++
 				if r.violated {
 					g.st.Injections++
 					g.st.TreeNets += r.n
@@ -460,9 +531,14 @@ func (g *engine) runParallel() {
 			}
 		}
 		if g.interrupted {
+			// The partial round still ran growths and merged a prefix of
+			// injections: account it before bailing (active keeps its
+			// pre-compaction length; the run is over either way).
+			g.endRound(grown, g.st.Injections-injBefore)
 			break
 		}
 		g.active = g.active[:n]
+		g.endRound(grown, g.st.Injections-injBefore)
 	}
 }
 

@@ -1,0 +1,215 @@
+// Schema round-trip test: real solver runs write JSONL traces, and this
+// file re-decodes them and pins the schema documented on Event — every
+// line decodes to a known kind, metric rounds are monotone within their
+// iteration, and each run traces exactly one terminal stop event, last.
+// An external test package so the traces come from the actual solvers.
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fm"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/hypergraph"
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+// cancelOnRound forwards every event and fires cancel once `after` metric
+// rounds have been observed — a deterministic mid-metric interruption.
+type cancelOnRound struct {
+	next   obs.Observer
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (c *cancelOnRound) Event(e obs.Event) {
+	c.next.Event(e)
+	if e.Kind == obs.KindMetricRound {
+		c.seen++
+		if c.seen == c.after {
+			c.cancel()
+		}
+	}
+}
+
+func kinds(events []obs.Event) []obs.Kind {
+	out := make([]obs.Kind, len(events))
+	for i, e := range events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func schemaInstance(t *testing.T) (*hypergraph.Hypergraph, hierarchy.Spec) {
+	t.Helper()
+	h := circuits.Clustered(4, 32, 0.25, 1)
+	spec, err := hierarchy.BinaryTreeSpec(h.TotalSize(), 4, hierarchy.GeometricWeights(4, 2), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, spec
+}
+
+// decodeTrace re-reads a JSONL trace, failing on any line that does not
+// decode or whose kind is not in the published set.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []obs.Event {
+	t.Helper()
+	known := map[obs.Kind]bool{}
+	for _, k := range obs.Kinds {
+		known[k] = true
+	}
+	var events []obs.Event
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("event %d does not decode: %v", len(events), err)
+		}
+		if !known[e.Kind] {
+			t.Fatalf("event %d has unknown kind %q", len(events), e.Kind)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d (%s) missing timestamp", len(events), e.Kind)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// checkTraceInvariants enforces the cross-event contract: one terminal
+// stop, last; metric rounds 1-based and monotone within each iteration.
+func checkTraceInvariants(t *testing.T, events []obs.Event) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	stops := 0
+	lastRound := map[int]int{} // iteration -> last metric round seen
+	for i, e := range events {
+		switch e.Kind {
+		case obs.KindStop:
+			stops++
+			if i != len(events)-1 {
+				t.Fatalf("stop event at index %d, not last (%d events)", i, len(events))
+			}
+			if e.Reason == "" {
+				t.Fatal("stop event missing reason")
+			}
+		case obs.KindMetricRound:
+			if e.Round <= lastRound[e.Iter] {
+				t.Fatalf("iteration %d: metric round %d after round %d", e.Iter, e.Round, lastRound[e.Iter])
+			}
+			lastRound[e.Iter] = e.Round
+		}
+	}
+	if stops != 1 {
+		t.Fatalf("trace has %d stop events, want exactly 1", stops)
+	}
+}
+
+// TestTraceSchemaRoundTrip drives every solver shape through a JSONL sink
+// and re-decodes the traces. Across the runs — a converged FLOW run (both
+// schedules), a deadline-interrupted run with salvage, and a refined GFM+
+// run — every published event kind must appear at least once.
+func TestTraceSchemaRoundTrip(t *testing.T) {
+	h, spec := schemaInstance(t)
+	seen := map[obs.Kind]bool{}
+	collect := func(t *testing.T, run func(sink obs.Observer) float64) []obs.Event {
+		t.Helper()
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		finalCost := run(sink)
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		events := decodeTrace(t, &buf)
+		checkTraceInvariants(t, events)
+		if last := events[len(events)-1]; last.Cost != finalCost {
+			t.Fatalf("stop event cost %v != result cost %v", last.Cost, finalCost)
+		}
+		for _, e := range events {
+			seen[e.Kind] = true
+		}
+		return events
+	}
+
+	t.Run("flow-sequential", func(t *testing.T) {
+		collect(t, func(sink obs.Observer) float64 {
+			res, err := htp.FlowCtx(context.Background(), h, spec,
+				htp.FlowOptions{Iterations: 3, PartitionsPerMetric: 2, Seed: 3, Observer: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cost
+		})
+	})
+
+	t.Run("flow-parallel", func(t *testing.T) {
+		collect(t, func(sink obs.Observer) float64 {
+			res, err := htp.FlowCtx(context.Background(), h, spec,
+				htp.FlowOptions{Iterations: 3, Seed: 3, Parallel: true,
+					Inject: inject.Options{Workers: 2}, Observer: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cost
+		})
+	})
+
+	t.Run("flow-cancel-salvage", func(t *testing.T) {
+		// Cancelling from inside the observer after the second metric round
+		// deterministically interrupts the first metric mid-flight and
+		// exercises the salvage path; the trace must still end in exactly
+		// one stop with a terminal reason.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		events := collect(t, func(sink obs.Observer) float64 {
+			res, err := htp.FlowCtx(ctx, h, spec,
+				htp.FlowOptions{Iterations: 4, Seed: 3,
+					Observer: &cancelOnRound{next: sink, cancel: cancel, after: 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cost
+		})
+		if last := events[len(events)-1]; last.Reason != "cancelled" {
+			t.Fatalf("stop reason = %q, want cancelled", last.Reason)
+		}
+		salvaged := false
+		for _, e := range events {
+			if e.Kind == obs.KindSalvage {
+				salvaged = true
+				if !e.Salvaged {
+					t.Fatal("salvage event without Salvaged flag")
+				}
+			}
+		}
+		if !salvaged {
+			t.Fatalf("no salvage event in cancelled trace: %v", kinds(events))
+		}
+	})
+
+	t.Run("gfm-plus", func(t *testing.T) {
+		collect(t, func(sink obs.Observer) float64 {
+			res, _, err := htp.GFMPlusCtx(context.Background(), h, spec,
+				htp.GFMOptions{Seed: 3, Observer: sink}, fm.RefineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cost
+		})
+	})
+
+	for _, k := range obs.Kinds {
+		if !seen[k] {
+			t.Errorf("event kind %q never appeared in any trace", k)
+		}
+	}
+}

@@ -18,10 +18,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/anytime"
 	"repro/internal/fm"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // HostTree is an undirected tree whose vertices hold logic. Edges have
@@ -228,6 +230,9 @@ type Options struct {
 	Rng *rand.Rand
 	// ImprovePasses bounds the greedy adjacent-move improvement. Default 4.
 	ImprovePasses int
+	// Observer receives treemap-assign and treemap-improve span trace
+	// events (see internal/obs). Nil disables telemetry at zero cost.
+	Observer obs.Observer
 }
 
 // Map assigns the hypergraph onto the host tree by recursive
@@ -272,10 +277,23 @@ func MapCtx(ctx context.Context, h *hypergraph.Hypergraph, t *HostTree, opt Opti
 	for i := range allVerts {
 		allVerts[i] = i
 	}
+	var phase time.Time
+	if opt.Observer != nil {
+		phase = time.Now()
+	}
 	if err := assign(ctx, m, h, all, allVerts, opt.Rng); err != nil {
 		return nil, err
 	}
+	if opt.Observer != nil {
+		obs.Emit(opt.Observer, obs.Event{Kind: obs.KindSpan, Phase: "treemap-assign",
+			ElapsedMS: obs.Millis(time.Since(phase))})
+		phase = time.Now()
+	}
 	improve(ctx, m, opt)
+	if opt.Observer != nil {
+		obs.Emit(opt.Observer, obs.Event{Kind: obs.KindSpan, Phase: "treemap-improve",
+			Cost: m.Cost(), ElapsedMS: obs.Millis(time.Since(phase))})
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
