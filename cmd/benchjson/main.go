@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -103,13 +104,15 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
+	if err != nil || iters <= 0 {
 		return Result{}, false
 	}
 	r := Result{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
+		// NaN and ±Inf never appear in real bench output and would make the
+		// report unmarshalable (encoding/json rejects them); drop the pair.
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			continue
 		}
 		r.Metrics[fields[i+1]] = v

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateRunFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		workers    int
+		timeout    time.Duration
+		timeoutSet bool
+		wantErr    bool
+	}{
+		{"defaults", 1, 0, false, false},
+		{"workers auto", 0, 0, false, false},
+		{"workers many", 16, 0, false, false},
+		{"workers negative", -1, 0, false, true},
+		{"workers very negative", -8, 0, false, true},
+		{"timeout positive", 1, time.Second, true, false},
+		{"timeout tiny positive", 1, time.Nanosecond, true, false},
+		{"timeout zero explicit", 1, 0, true, true},
+		{"timeout negative explicit", 1, -time.Second, true, true},
+		{"timeout zero default", 1, 0, false, false},
+		{"timeout negative unset ignored", 1, -time.Second, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateRunFlags(tc.workers, tc.timeout, tc.timeoutSet)
+			if got := err != nil; got != tc.wantErr {
+				t.Fatalf("validateRunFlags(%d, %v, set=%v) = %v, want error: %v",
+					tc.workers, tc.timeout, tc.timeoutSet, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -72,6 +72,17 @@ func main() {
 	if *in == "" {
 		fatal(fmt.Errorf("need -in netlist"))
 	}
+	timeoutSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutSet = true
+		}
+	})
+	if err := validateRunFlags(*workers, *timeout, timeoutSet); err != nil {
+		fmt.Fprintln(os.Stderr, "htpart:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
 	}
@@ -278,6 +289,22 @@ type runReport struct {
 	Gap         float64 `json:"gap,omitempty"`
 	WallSeconds float64 `json:"wall_s"`
 	obs.RunReport
+}
+
+// validateRunFlags rejects flag values that would otherwise fail obscurely
+// deep in the solver. A negative -workers has no meaning (0 already means
+// NumCPU). -timeout defaults to 0 = unlimited, but a zero or negative
+// duration the user typed out ("-timeout 0s") is almost always a mistake, so
+// an explicitly-set non-positive value is an error rather than silently
+// meaning "no deadline".
+func validateRunFlags(workers int, timeout time.Duration, timeoutSet bool) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers)
+	}
+	if timeoutSet && timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive when set, got %v", timeout)
+	}
+	return nil
 }
 
 // progressLine renders the live one-line status on stderr, rewriting in

@@ -1,0 +1,78 @@
+// Command htpvet is the repo's invariant checker: a multichecker over the
+// custom analyzers in internal/lint that machine-enforces the solver's
+// determinism, cancellation, telemetry, and panic-containment contracts.
+// `make check` runs it as a hard gate.
+//
+// Usage:
+//
+//	htpvet ./...             # analyze the module (the default)
+//	htpvet -only detrand ./internal/inject/
+//	htpvet -list             # print the suite
+//
+// Diagnostics print as file:line:col: message [analyzer] and any finding
+// exits 1. Intentional exceptions are annotated in the source:
+//
+//	//htpvet:allow <analyzer> -- <reason>
+//
+// on the flagged line or the line above; unused or reason-less allowances
+// are themselves diagnostics. Test files are not analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "htpvet: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := lint.ModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htpvet:", err)
+		os.Exit(2)
+	}
+	_, pkgs, err := lint.NewLoader(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htpvet:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "htpvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -225,6 +225,7 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 			// build.
 			buildCtx := ctx
 			if c == 0 {
+				//htpvet:allow ctxflow -- deliberate detach: the first construction is cheap and bounded and must complete so a deadline landing between metric and build still yields a candidate
 				buildCtx = context.Background()
 			} else if ctx.Err() != nil {
 				return

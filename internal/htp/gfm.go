@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/anytime"
@@ -226,6 +227,10 @@ func greedyMerge(ctx context.Context, h *hypergraph.Hypergraph, groups []gfmGrou
 			for g := range touched {
 				gs = append(gs, g)
 			}
+			// The pair accumulation below is commutative either way (pairs
+			// are canonicalized before the +=), but sorted keys make the
+			// enumeration order-independent by construction.
+			sort.Ints(gs)
 			c := h.NetCapacity(hypergraph.NetID(e))
 			for i := 0; i < len(gs); i++ {
 				for j := i + 1; j < len(gs); j++ {
@@ -239,12 +244,28 @@ func greedyMerge(ctx context.Context, h *hypergraph.Hypergraph, groups []gfmGrou
 		}
 		bestA, bestB := -1, -1
 		bestConn := -1.0
-		for pair, c := range conn {
+		// Scan candidate pairs in canonical order: ranging over the map
+		// directly made the argmax tie-break follow Go's randomized map
+		// iteration, so equal-connectivity merges — common on symmetric
+		// netlists — picked different pairs run to run and GFM's output was
+		// not a function of its seed. Sorted, ties go to the
+		// lexicographically smallest pair.
+		pairs := make([][2]int, 0, len(conn))
+		for pair := range conn {
+			pairs = append(pairs, pair)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		for _, pair := range pairs {
 			a, b := pair[0], pair[1]
 			if dead[a] || dead[b] || !feasible(groups[a], groups[b]) {
 				continue
 			}
-			if c > bestConn {
+			if c := conn[pair]; c > bestConn {
 				bestA, bestB, bestConn = a, b, c
 			}
 		}

@@ -453,6 +453,7 @@ func (g *engine) runParallel() {
 			inTree: make([]bool, h.NumNets()),
 			nets:   make([]hypergraph.NetID, 0, 256),
 		}
+		//htpvet:allow nakedgoroutine -- vetted worker pool: growRoot is pure array code over caller-owned scratch; a panic here is a solver bug that must surface, not be contained (DESIGN.md "Parallel metric engine")
 		go func(id int32, ws *injectWorker) {
 			for range startCh {
 				for {

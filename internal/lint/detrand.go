@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetPackages lists the determinism-critical packages: the stochastic
+// injection engine and everything on the seeded path that produces the
+// golden-hash-pinned spreading metrics. detrand only fires inside these.
+var DetPackages = []string{
+	"repro/internal/inject",
+	"repro/internal/htp",
+	"repro/internal/shortest",
+	"repro/internal/metric",
+}
+
+// DetRand enforces seeded determinism in the packages of DetPackages.
+// Algorithm 2's FLOW results are reproducible only because every source of
+// randomness is a caller-seeded *rand.Rand and every iteration order is
+// canonical; one stray map range or global rand call silently breaks the
+// golden metric hashes. The analyzer flags:
+//
+//   - range over a map unless the body is a commutative fold (op-assigns,
+//     counters, deletes only) or it only collects keys/values into slices
+//     that are sorted later in the same block;
+//   - calls to math/rand (and v2) package-level functions, which draw from
+//     the unseeded global source;
+//   - time.Now calls whose value escapes telemetry timing: a wall-clock
+//     read may only be stored in variables consumed by time.Since /
+//     Sub / IsZero / Before / After (or passed on to same-package
+//     functions whose parameter obeys the same rule).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flags map-iteration-order leaks, global randomness, and wall-clock reads in determinism-critical packages",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	det := false
+	for _, p := range DetPackages {
+		if pass.Pkg.Path() == p {
+			det = true
+			break
+		}
+	}
+	if !det {
+		return
+	}
+	parents := parentMap(pass.Files)
+	checkMapRanges(pass, parents)
+	checkGlobalRand(pass)
+	checkWallClock(pass, parents)
+}
+
+// --- map ranges -----------------------------------------------------------
+
+func checkMapRanges(pass *Pass, parents map[ast.Node]ast.Node) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				return true // no iteration variables: order cannot leak
+			}
+			if isCommutativeFold(pass.Info, rs.Body) {
+				return true
+			}
+			if ok, unsorted := collectsThenSorts(pass.Info, parents, rs); ok {
+				return true
+			} else if unsorted != "" {
+				pass.Reportf(rs.For, "map iteration order leaks: keys collected into %q are never sorted in this block", unsorted)
+				return true
+			}
+			pass.Reportf(rs.For, "map iteration order leaks into the result: body is neither a commutative fold nor a collect-and-sort")
+			return true
+		})
+	}
+}
+
+// isCommutativeFold reports whether every statement in the body is an
+// order-insensitive accumulation: op-assignments (+=, |=, ...), counter
+// increments, deletes, or flow-control that contains only the same. Plain
+// assignments are deliberately excluded — `if v > best { best, arg = v, k }`
+// is a fold over values but leaks the order through the argmax on ties.
+func isCommutativeFold(info *types.Info, body *ast.BlockStmt) bool {
+	var foldOnly func(stmts []ast.Stmt) bool
+	foldOnly = func(stmts []ast.Stmt) bool {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				// += -= *= |= &= ^= &^= <<= >>= %= /= all commute over the
+				// iteration for the accumulator patterns used here; plain
+				// = and := do not.
+				if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+					return false
+				}
+			case *ast.IncDecStmt:
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || !isBuiltinCall(info, call, "delete") {
+					return false
+				}
+			case *ast.BranchStmt:
+				if s.Tok != token.CONTINUE && s.Tok != token.BREAK {
+					return false
+				}
+			case *ast.IfStmt:
+				if s.Init != nil || s.Else != nil {
+					return false
+				}
+				if !foldOnly(s.Body.List) {
+					return false
+				}
+			case *ast.BlockStmt:
+				if !foldOnly(s.List) {
+					return false
+				}
+			case *ast.EmptyStmt:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return foldOnly(body.List)
+}
+
+// collectsThenSorts reports whether the range body only appends to slices
+// and each of those slices is sorted by a later statement in the block that
+// contains the range. When the body is append-only but some slice is never
+// sorted, the slice's name comes back for the diagnostic.
+func collectsThenSorts(info *types.Info, parents map[ast.Node]ast.Node, rs *ast.RangeStmt) (ok bool, unsorted string) {
+	targets := map[types.Object]string{}
+	for _, s := range rs.Body.List {
+		as, okA := s.(*ast.AssignStmt)
+		if !okA || len(as.Lhs) != 1 || len(as.Rhs) != 1 || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return false, ""
+		}
+		lhs, okL := as.Lhs[0].(*ast.Ident)
+		call, okR := as.Rhs[0].(*ast.CallExpr)
+		if !okL || !okR || !isBuiltinCall(info, call, "append") || len(call.Args) < 2 {
+			return false, ""
+		}
+		first, okF := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !okF || first.Name != lhs.Name {
+			return false, ""
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if obj == nil {
+			return false, ""
+		}
+		targets[obj] = lhs.Name
+	}
+	if len(targets) == 0 {
+		return false, ""
+	}
+
+	// Find the statements following the range in its owning list.
+	owner := parents[rs]
+	list := stmtList(owner)
+	idx := -1
+	for i, s := range list {
+		if s == rs {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, ""
+	}
+	for _, s := range list[idx+1:] {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, okC := n.(*ast.CallExpr)
+			if !okC || !isSortCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if arg, okA := ast.Unparen(call.Args[0]).(*ast.Ident); okA {
+				if obj := info.Uses[arg]; obj != nil {
+					delete(targets, obj)
+				}
+			}
+			return true
+		})
+	}
+	for _, name := range targets {
+		return false, name
+	}
+	return true, ""
+}
+
+// isSortCall recognizes the sort/slices ordering entry points.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// --- global randomness ----------------------------------------------------
+
+// randConstructors are the math/rand entry points that take an explicit
+// source or seed and therefore stay caller-deterministic.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func checkGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, okS := fn.Type().(*types.Signature); okS && sig.Recv() != nil {
+				return true // method on a caller-owned *rand.Rand
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s draws from the global random source; use the caller-supplied seeded *rand.Rand", path, fn.Name())
+			return true
+		})
+	}
+}
+
+// --- wall clock -----------------------------------------------------------
+
+// timeConsumers are the time.Time methods a telemetry timestamp may flow
+// into without affecting any computed result.
+var timeConsumers = map[string]bool{
+	"Sub": true, "IsZero": true, "Before": true, "After": true, "Equal": true,
+}
+
+// checkWallClock verifies every time.Now call feeds telemetry timing only.
+// The value must be stored into variables (or struct fields, or passed as
+// arguments to same-package functions) whose every use is time.Since, a
+// timeConsumers method call, or propagation to another such variable.
+func checkWallClock(pass *Pass, parents map[ast.Node]ast.Node) {
+	info := pass.Info
+
+	// Fixpoint over "timestamp objects": vars/fields/params holding a
+	// wall-clock read, seeded by direct time.Now assignments and grown by
+	// propagation assignments and same-package argument passing.
+	stamps := map[types.Object]bool{}
+	isStampExpr := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isPkgCall(info, e, "time", "Now")
+		case *ast.Ident:
+			return stamps[info.Uses[e]]
+		case *ast.SelectorExpr:
+			return stamps[info.Uses[e.Sel]]
+		}
+		return false
+	}
+	addLHS := func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Defs[e]; obj != nil {
+				stamps[obj] = true
+			} else if obj := info.Uses[e]; obj != nil {
+				stamps[obj] = true
+			}
+		case *ast.SelectorExpr:
+			if obj := info.Uses[e.Sel]; obj != nil {
+				stamps[obj] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		before := len(stamps)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i := range n.Rhs {
+						if isStampExpr(n.Rhs[i]) {
+							addLHS(n.Lhs[i])
+						}
+					}
+				case *ast.CallExpr:
+					fn := calleeFunc(info, n)
+					if fn == nil || fn.Pkg() != pass.Pkg {
+						return true
+					}
+					sig := fn.Type().(*types.Signature)
+					for i, arg := range n.Args {
+						if i >= sig.Params().Len() {
+							break
+						}
+						if isStampExpr(arg) {
+							stamps[sig.Params().At(i)] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		changed = len(stamps) != before
+	}
+
+	// A use expression of a timestamp object: the ident, or the selector
+	// wrapping it for field accesses.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !stamps[obj] {
+				return true
+			}
+			use := ast.Node(id)
+			if sel, okS := parents[id].(*ast.SelectorExpr); okS && sel.Sel == id {
+				use = sel
+			}
+			if !wallClockUseOK(info, parents, use, stamps) {
+				pass.Reportf(id.Pos(), "wall-clock timestamp %q escapes telemetry timing: only time.Since/Sub/IsZero or propagation to another timestamp is deterministic-safe", id.Name)
+			}
+			return true
+		})
+		// Direct escapes: a time.Now() call used as anything but the sole
+		// RHS of an assignment or an argument to a same-package function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgCall(info, call, "time", "Now") {
+				return true
+			}
+			switch p := parents[call].(type) {
+			case *ast.AssignStmt:
+				// Handled via the object rules above — provided the call
+				// lands in a trackable variable or field.
+				if len(p.Lhs) == len(p.Rhs) {
+					for i := range p.Rhs {
+						if ast.Unparen(p.Rhs[i]) != ast.Expr(call) {
+							continue
+						}
+						switch ast.Unparen(p.Lhs[i]).(type) {
+						case *ast.Ident, *ast.SelectorExpr:
+							return true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, p); fn != nil && fn.Pkg() == pass.Pkg {
+					return true // becomes a parameter timestamp
+				}
+			}
+			pass.Reportf(call.Pos(), "time.Now escapes into an expression; store it in a telemetry timestamp consumed only by time.Since")
+			return true
+		})
+	}
+}
+
+// wallClockUseOK whitelists one use of a timestamp object.
+func wallClockUseOK(info *types.Info, parents map[ast.Node]ast.Node, use ast.Node, stamps map[types.Object]bool) bool {
+	switch p := parents[use].(type) {
+	case *ast.CallExpr:
+		// Argument of time.Since, or of a same-package function whose
+		// matching parameter is itself a timestamp.
+		if isPkgCall(info, p, "time", "Since") {
+			return true
+		}
+		if fn := calleeFunc(info, p); fn != nil {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil {
+				for i, arg := range p.Args {
+					if ast.Unparen(arg) == use && i < sig.Params().Len() && stamps[sig.Params().At(i)] {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// t.Sub(u) / t.IsZero() ...: the selector must be the method call's
+		// function operand.
+		if p.Sel != use && timeConsumers[p.Sel.Name] {
+			if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		// Appearing in an assignment: either being (re)assigned, or being
+		// propagated to another timestamp (validated by the fixpoint).
+		for i, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == use {
+				return true
+			}
+			if i < len(p.Rhs) && ast.Unparen(p.Rhs[i]) == use {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if stamps[info.Defs[l]] || stamps[info.Uses[l]] {
+						return true
+					}
+				case *ast.SelectorExpr:
+					if stamps[info.Uses[l.Sel]] {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call invokes, or nil when
+// the callee is a builtin, a function-typed variable, or a type conversion.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F().
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name (methods never match).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// parentMap records every node's syntactic parent within the files.
+func parentMap(files []*ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}
+
+// enclosingStmt walks up from n to the statement directly contained in a
+// statement list (block, case, or comm clause body).
+func enclosingStmt(parents map[ast.Node]ast.Node, n ast.Node) ast.Stmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		stmt, ok := cur.(ast.Stmt)
+		if !ok {
+			continue
+		}
+		switch parents[stmt].(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return stmt
+		}
+	}
+	return nil
+}
+
+// stmtList returns the statement list a statement list owner holds.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// namedPath reports whether t (or its pointer elem) is the named type
+// pkgPath.name.
+func namedPath(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return namedPath(t, "context", "Context") }
+
+// funcTerminates conservatively reports whether control cannot flow past
+// stmt: it returns, panics, or exits on every path.
+func funcTerminates(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if isBuiltinCall(info, call, "panic") {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "os" && fn.Name() == "Exit" {
+				return true
+			}
+			// Package-local fatal helpers (the cmd trees' fatal(err)).
+			if fn.Name() == "fatal" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if funcTerminates(info, inner) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return funcTerminates(info, s.Body) && funcTerminates(info, s.Else)
+	}
+	return false
+}
+
+// funcScopes collects every function-like node (declarations and literals)
+// in the files, mapping each body to its owner for reporting.
+type funcScope struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+func funcScopes(files []*ast.File) []funcScope {
+	var out []funcScope
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, funcScope{fn, fn.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcScope{fn, fn.Body})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package lint is htpvet's analysis framework: a small, dependency-free
+// clone of golang.org/x/tools/go/analysis built on the standard library's
+// go/ast and go/types. It exists because the solver's core invariants —
+// seeded determinism of the stochastic injection, context threading through
+// every *Ctx entry point, the exactly-one-terminal-stop telemetry contract,
+// and the panic-containment policy for goroutines — are conventions that a
+// reviewer can miss but a machine cannot. Each invariant is encoded as an
+// Analyzer (see detrand.go, ctxflow.go, obsemit.go, nakedgoroutine.go) and
+// enforced by `make check` via cmd/htpvet.
+//
+// A diagnostic that is intentional — a vetted worker pool, a deliberate
+// context detach on a salvage path — is suppressed with an annotation on
+// the flagged line or the line above:
+//
+//	//htpvet:allow <analyzer> -- <reason>
+//
+// The reason is mandatory: an allowance without a justification is itself a
+// diagnostic, so every escape hatch documents why the invariant bends.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single type-checked
+// package via its Pass and reports findings with Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check. It must not mutate the Pass's syntax trees.
+	Run func(*Pass)
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowMarker is the comment prefix that suppresses a diagnostic.
+const allowMarker = "//htpvet:allow "
+
+// allowance is one parsed //htpvet:allow comment.
+type allowance struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// allowances extracts the file's htpvet:allow annotations. Malformed ones
+// (no analyzer name, or a missing "-- reason" tail) are reported as
+// diagnostics in their own right so they cannot silently suppress anything.
+func allowances(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []allowance {
+	var out []allowance
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, strings.TrimSuffix(allowMarker, " ")) {
+				continue
+			}
+			body := strings.TrimPrefix(c.Text, strings.TrimSuffix(allowMarker, " "))
+			body = strings.TrimSpace(body)
+			name, reason, ok := strings.Cut(body, "--")
+			name = strings.TrimSpace(name)
+			reason = strings.TrimSpace(reason)
+			if name == "" || !ok || reason == "" {
+				report(Diagnostic{
+					Analyzer: "htpvet",
+					Pos:      fset.Position(c.Pos()),
+					Message:  `malformed allowance: want "//htpvet:allow <analyzer> -- <reason>"`,
+				})
+				continue
+			}
+			out = append(out, allowance{
+				analyzer: name,
+				reason:   reason,
+				line:     fset.Position(c.Pos()).Line,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics in file/line order. Allow annotations suppress
+// matching diagnostics on their own line or the line below (i.e. the
+// annotation sits on the flagged line or immediately above it); an
+// annotation that suppresses nothing is reported as unused, so stale
+// escapes cannot linger after the code they excused is gone.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var allows []allowance
+		for _, f := range pkg.Files {
+			allows = append(allows, allowances(pkg.Fset, f, func(d Diagnostic) {
+				all = append(all, d)
+			})...)
+		}
+		used := make([]bool, len(allows))
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for i, al := range allows {
+			if Lookup(al.analyzer) == nil {
+				all = append(all, Diagnostic{
+					Analyzer: "htpvet",
+					Pos:      pkg.Fset.Position(al.pos),
+					Message:  fmt.Sprintf("allowance names unknown analyzer %q (see htpvet -list)", al.analyzer),
+				})
+				used[i] = true // a typo cannot also read as a stale escape
+			}
+		}
+
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+		diag:
+			for _, d := range pass.diags {
+				for i, al := range allows {
+					if al.analyzer != a.Name {
+						continue
+					}
+					if sameFile(pkg.Fset, al.pos, d.Pos) &&
+						(al.line == d.Pos.Line || al.line == d.Pos.Line-1) {
+						used[i] = true
+						continue diag
+					}
+				}
+				all = append(all, d)
+			}
+		}
+
+		// An allowance is stale only if the analyzer it names actually ran
+		// and suppressed nothing — a partial run (htpvet -only) must not
+		// flag the other analyzers' allowances.
+		for i, al := range allows {
+			if !used[i] && ran[al.analyzer] {
+				all = append(all, Diagnostic{
+					Analyzer: "htpvet",
+					Pos:      pkg.Fset.Position(al.pos),
+					Message:  fmt.Sprintf("unused allowance for %q: nothing suppressed on this or the next line", al.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Message < all[j].Message
+	})
+	return all
+}
+
+func sameFile(fset *token.FileSet, a token.Pos, b token.Position) bool {
+	return fset.Position(a).Filename == b.Filename
+}
+
+// Analyzers is the htpvet suite in reporting order.
+var Analyzers = []*Analyzer{DetRand, CtxFlow, ObsEmit, NakedGoroutine}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

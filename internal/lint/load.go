@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools: it
+// asks the go command for each dependency's compiled export data
+// (`go list -export`) and feeds it to the standard library's gc importer,
+// so only the packages under analysis are ever parsed from source. Test
+// files (_test.go) are not analyzed — tests legitimately use wall clocks,
+// unseeded randomness, and bare goroutines.
+type Loader struct {
+	fset    *token.FileSet
+	dir     string            // module root the go commands run in
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// ModuleRoot returns the directory of the enclosing module's go.mod.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: locating module root: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// NewLoader builds a loader rooted at dir and returns the packages matching
+// patterns, type-checked and ready for analysis. Extra patterns beyond the
+// module (e.g. bare stdlib import paths needed only by test fixtures) may
+// be included; every listed package's dependencies come along automatically
+// via -deps, so fixtures can import anything the module itself uses.
+func NewLoader(dir string, patterns ...string) (*Loader, []*Package, error) {
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		dir:     dir,
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			pc := p
+			targets = append(targets, &pc)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return l, pkgs, nil
+}
+
+// lookup opens the export data for path; the gc importer calls it for every
+// import encountered while type-checking.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q (not in the listed dependency closure)", path)
+	}
+	return os.Open(file)
+}
+
+// CheckDir parses every non-test .go file in dir and type-checks the result
+// as a package with the given import path. It is the fixture loader: the
+// path chooses which package the analyzers believe they are inspecting
+// (e.g. a determinism-critical one), while the files stay in testdata where
+// the go tool ignores them.
+func (l *Loader) CheckDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return l.check(path, dir, files)
+}
+
+// check parses files and type-checks them as one package.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: asts, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPath = "repro/internal/obs"
+
+// ObsEmit enforces the telemetry layer's two emission contracts outside
+// internal/obs itself:
+//
+//   - events reach an Observer only through the nil-checked obs.Emit helper
+//     — calling Observer.Event directly skips the nil check (panicking on
+//     the disabled path) and the wall-time stamping;
+//   - a terminal stop event (Kind obs.KindStop) is emitted at most once per
+//     run path: within any function, after a statement that emits a stop
+//     (directly, or via a helper like emitStop that wraps one), no second
+//     stop emission may be reachable, and no stop emission may sit in a
+//     loop it can re-execute. The schema contract "exactly one stop, last"
+//     (internal/obs schema tests) depends on this.
+var ObsEmit = &Analyzer{
+	Name: "obsemit",
+	Doc:  "obs.Event emission goes through obs.Emit, and terminal stop events are emitted at most once per run path",
+	Run:  runObsEmit,
+}
+
+func runObsEmit(pass *Pass) {
+	if pass.Pkg.Path() == obsPath {
+		return
+	}
+	parents := parentMap(pass.Files)
+
+	// Direct Observer.Event calls.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isObserverEventCall(pass.Info, call) {
+				pass.Reportf(call.Pos(), "direct Observer.Event call skips the nil check and time stamping; emit through obs.Emit")
+			}
+			return true
+		})
+	}
+
+	// Functions that directly wrap a stop emission (e.g. internal/htp's
+	// emitStop): calls to them count as stop emissions at their call sites.
+	emitters := map[*types.Func]bool{}
+	scopes := funcScopes(pass.Files)
+	for _, sc := range scopes {
+		fd, ok := sc.node.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		st := newStopScope(pass, sc, nil)
+		if len(st.actions) > 0 {
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				emitters[fn] = true
+			}
+		}
+	}
+
+	for _, sc := range scopes {
+		st := newStopScope(pass, sc, emitters)
+		for _, action := range st.actions {
+			st.checkAfter(pass, parents, action)
+		}
+	}
+}
+
+// isObserverEventCall matches method calls named Event taking exactly one
+// obs.Event argument — the Observer interface method and every sink's
+// implementation of it.
+func isObserverEventCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Event" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	return namedPath(sig.Params().At(0).Type(), obsPath, "Event")
+}
+
+// stopScope is the per-function stop-emission analysis state.
+type stopScope struct {
+	pass     *Pass
+	scope    funcScope
+	emitters map[*types.Func]bool
+	stopVars map[types.Object]bool
+	actions  []*ast.CallExpr
+}
+
+// newStopScope collects the scope's stop emissions: obs.Emit or .Event
+// calls whose event is a KindStop literal or a local variable holding one,
+// plus (when emitters is non-nil) calls to same-package stop wrappers.
+// Nested function literals are separate scopes and are not descended into.
+func newStopScope(pass *Pass, sc funcScope, emitters map[*types.Func]bool) *stopScope {
+	st := &stopScope{pass: pass, scope: sc, emitters: emitters, stopVars: map[types.Object]bool{}}
+
+	// Pass 1: local variables initialized or retagged as stop events.
+	inspectScope(sc.body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && isStopLiteral(pass.Info, rhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						if obj := objOfIdent(pass.Info, id); obj != nil {
+							st.stopVars[obj] = true
+						}
+					}
+				}
+			}
+			// ev.Kind = obs.KindStop retags an existing event variable.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if sel, ok := ast.Unparen(n.Lhs[0]).(*ast.SelectorExpr); ok && sel.Sel.Name == "Kind" {
+					if isKindStop(pass.Info, n.Rhs[0]) {
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+							if obj := pass.Info.Uses[id]; obj != nil {
+								st.stopVars[obj] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) && isStopLiteral(pass.Info, v) {
+					if obj := pass.Info.Defs[n.Names[i]]; obj != nil {
+						st.stopVars[obj] = true
+					}
+				}
+			}
+		}
+	})
+
+	// Pass 2: emission calls.
+	inspectScope(sc.body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if st.isStopAction(call) {
+			st.actions = append(st.actions, call)
+		}
+	})
+	return st
+}
+
+// isStopAction reports whether call emits a terminal stop from this scope.
+func (st *stopScope) isStopAction(call *ast.CallExpr) bool {
+	info := st.pass.Info
+	var eventArg ast.Expr
+	if isPkgCall(info, call, obsPath, "Emit") && len(call.Args) == 2 {
+		eventArg = call.Args[1]
+	} else if isObserverEventCall(info, call) && len(call.Args) == 1 {
+		eventArg = call.Args[0]
+	}
+	if eventArg != nil {
+		if isStopLiteral(info, eventArg) {
+			return true
+		}
+		if id, ok := ast.Unparen(eventArg).(*ast.Ident); ok && st.stopVars[info.Uses[id]] {
+			return true
+		}
+		return false
+	}
+	if st.emitters != nil {
+		if fn := calleeFunc(info, call); fn != nil && st.emitters[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAfter walks forward from an emission and reports if another stop
+// emission can still execute: later in any enclosing statement list, or by
+// the emission's own enclosing loop iterating again.
+func (st *stopScope) checkAfter(pass *Pass, parents map[ast.Node]ast.Node, action *ast.CallExpr) {
+	cur := ast.Node(enclosingStmt(parents, action))
+	if cur == nil {
+		return
+	}
+	for {
+		owner := parents[cur]
+		list := stmtList(owner)
+		idx := -1
+		for i, s := range list {
+			if s == cur {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			for _, s := range list[idx+1:] {
+				if st.containsStopAction(s, action) {
+					pass.Reportf(action.Pos(), "a second terminal stop emission is reachable after this one; the run must emit exactly one stop, last")
+					return
+				}
+				if funcTerminates(pass.Info, s) {
+					return
+				}
+			}
+		}
+		// Fell through the list: climb until the next enclosing statement
+		// that itself sits in a list, watching for loops and the scope edge.
+		node := owner
+		for {
+			switch node.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				pass.Reportf(action.Pos(), "terminal stop emission inside a loop can fire more than once; emit the stop after the loop (or return immediately)")
+				return
+			case *ast.FuncDecl, *ast.FuncLit:
+				return // fell off the end of the function: path closed
+			}
+			if node == st.scope.node {
+				return
+			}
+			stmt, ok := node.(ast.Stmt)
+			if ok {
+				switch parents[stmt].(type) {
+				case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+					cur = stmt
+				default:
+					node = parents[node]
+					continue
+				}
+				break
+			}
+			node = parents[node]
+		}
+	}
+}
+
+// containsStopAction reports whether n contains a stop emission other than
+// self, without descending into nested function literals.
+func (st *stopScope) containsStopAction(n ast.Node, self *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && call != self && st.isStopAction(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isStopLiteral matches a composite literal obs.Event{..., Kind: obs.KindStop, ...}.
+func isStopLiteral(info *types.Info, e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(lit)
+	if t == nil || !namedPath(t, obsPath, "Event") {
+		return false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" && isKindStop(info, kv.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// isKindStop matches a reference to the obs.KindStop constant.
+func isKindStop(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Const)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == obsPath && obj.Name() == "KindStop"
+}
+
+// objOfIdent resolves an identifier's object from either map.
+func objOfIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// inspectScope walks body without descending into nested function literals.
+func inspectScope(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

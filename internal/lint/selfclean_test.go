@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+// TestRepoSelfClean runs the whole htpvet suite over the repository and
+// demands zero diagnostics — the same gate `make check` applies via
+// cmd/htpvet. A determinism, cancellation, telemetry, or goroutine-policy
+// regression anywhere in the module fails this test directly.
+func TestRepoSelfClean(t *testing.T) {
+	_, pkgs := sharedLoader(t)
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	for _, d := range RunAnalyzers(pkgs, Analyzers) {
+		t.Errorf("repo is not htpvet-clean: %s", d)
+	}
+}

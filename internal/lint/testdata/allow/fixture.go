@@ -1,0 +1,36 @@
+// Fixture for the allowance machinery, loaded under a determinism-critical
+// import path so detrand fires. A justified annotation on the flagged line
+// or the line above suppresses the diagnostic; an unused or malformed one is
+// a diagnostic itself.
+package fixture
+
+import "math/rand"
+
+func allowedAbove() int {
+	//htpvet:allow detrand -- fixture: a justified allowance on the line above suppresses
+	return rand.Intn(10)
+}
+
+func allowedSameLine() int {
+	return rand.Intn(10) //htpvet:allow detrand -- fixture: a same-line allowance suppresses
+}
+
+func unusedAllow() {
+	//htpvet:allow detrand -- nothing on the next line needs suppression // want `unused allowance`
+	_ = 0
+}
+
+func wrongAnalyzer() int {
+	//htpvet:allow ctxflow -- an allowance names one analyzer and excuses no other // want `unused allowance`
+	return rand.Intn(10) // want `global random source`
+}
+
+func malformedAllow() {
+	//htpvet:allow detrand // want `malformed allowance`
+	_ = 0
+}
+
+func unknownAnalyzer() {
+	//htpvet:allow nosuch -- the named analyzer does not exist // want `unknown analyzer`
+	_ = 0
+}

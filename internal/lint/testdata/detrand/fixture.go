@@ -1,0 +1,120 @@
+// Fixture for the detrand analyzer. Loaded under a determinism-critical
+// import path; each `// want` comment is a regexp the diagnostic on that
+// line must match.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want `draws from the global random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `draws from the global random source`
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors over caller seeds stay deterministic
+	return rng.Float64()
+}
+
+func mapArgmax(m map[int]float64) (int, float64) {
+	bestK, bestV := -1, -1.0
+	for k, v := range m { // want `map iteration order leaks`
+		if v > bestV {
+			bestK, bestV = k, v
+		}
+	}
+	return bestK, bestV
+}
+
+func commutativeFold(m map[int]float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range m { // a commutative fold: order cannot leak
+		if v < 0 {
+			continue
+		}
+		sum += v
+		n++
+	}
+	_ = n
+	return sum
+}
+
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collected keys are sorted below: fine
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func keylessRange(m map[string]int) int {
+	n := 0
+	for range m { // no iteration variables: order cannot leak
+		n++
+	}
+	return n
+}
+
+func wallClockSeed() int64 {
+	return time.Now().UnixNano() // want `time.Now escapes`
+}
+
+func wallClockRng() *rand.Rand {
+	seed := time.Now()
+	return rand.New(rand.NewSource(seed.Unix())) // want `escapes telemetry timing`
+}
+
+func telemetryTiming() float64 {
+	t0 := time.Now() // consumed by time.Since only: fine
+	work()
+	return float64(time.Since(t0).Nanoseconds())
+}
+
+type tracker struct {
+	t0 time.Time
+}
+
+func (tr *tracker) start() {
+	tr.t0 = time.Now() // a field timestamp, consumed by elapsed: fine
+}
+
+func (tr *tracker) elapsed() time.Duration {
+	if tr.t0.IsZero() {
+		return 0
+	}
+	return time.Since(tr.t0)
+}
+
+func propagated() time.Duration {
+	t0 := time.Now() // propagates to another timestamp: fine
+	phase := t0
+	work()
+	return time.Since(phase)
+}
+
+func passedDown() time.Duration {
+	t0 := time.Now() // passed to a same-package helper that only times: fine
+	return sinceHelper(t0)
+}
+
+func sinceHelper(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+func work() {}

@@ -1,0 +1,50 @@
+// Fixture for the nakedgoroutine analyzer: every go statement must recover
+// panics, directly or through a function it calls (one level deep).
+package fixture
+
+import "sync"
+
+func naked() {
+	go func() { // want `does not recover panics`
+		work()
+	}()
+}
+
+func recovered() {
+	go func() {
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+func viaHelper(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			protectedWork(i) // the recovery defer lives one call down
+		}(i)
+	}
+	wg.Wait()
+}
+
+func protectedWork(i int) {
+	defer func() { _ = recover() }()
+	_ = i
+	work()
+}
+
+func viaClosure() {
+	run := func() {
+		defer func() { _ = recover() }()
+		work()
+	}
+	go run()
+}
+
+func nakedNamed() {
+	go work() // want `does not recover panics`
+}
+
+func work() {}

@@ -1,0 +1,56 @@
+// Fixture for the obsemit analyzer: emission goes through obs.Emit, and a
+// terminal stop event is emitted at most once per run path.
+package fixture
+
+import "repro/internal/obs"
+
+func direct(o obs.Observer) {
+	o.Event(obs.Event{Kind: obs.KindBest}) // want `direct Observer.Event call`
+}
+
+func viaEmit(o obs.Observer) {
+	obs.Emit(o, obs.Event{Kind: obs.KindBest})
+}
+
+// emitStop wraps the terminal emission; calls to it count as stop emissions.
+func emitStop(o obs.Observer, reason string) {
+	obs.Emit(o, obs.Event{Kind: obs.KindStop, Reason: reason})
+}
+
+func singleStop(o obs.Observer) {
+	obs.Emit(o, obs.Event{Kind: obs.KindBest})
+	emitStop(o, "done")
+}
+
+func doubleStop(o obs.Observer) {
+	emitStop(o, "first") // want `second terminal stop emission is reachable`
+	emitStop(o, "second")
+}
+
+func stopInLoop(o obs.Observer, n int) {
+	for i := 0; i < n; i++ {
+		obs.Emit(o, obs.Event{Kind: obs.KindStop}) // want `inside a loop`
+	}
+}
+
+func stopThenReturn(o obs.Observer, err error) error {
+	if err != nil {
+		emitStop(o, "error") // the return below closes this path: fine
+		return err
+	}
+	emitStop(o, "done")
+	return nil
+}
+
+func loopThenStop(o obs.Observer, n int) {
+	for i := 0; i < n; i++ {
+		obs.Emit(o, obs.Event{Kind: obs.KindIterDone, Iter: i + 1})
+	}
+	emitStop(o, "done") // after the loop: fires exactly once
+}
+
+func stopVarFlow(o obs.Observer) {
+	ev := obs.Event{Kind: obs.KindStop, Reason: "done"}
+	obs.Emit(o, ev) // want `second terminal stop emission is reachable`
+	obs.Emit(o, obs.Event{Kind: obs.KindStop})
+}

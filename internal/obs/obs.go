@@ -221,6 +221,7 @@ type Funnel struct {
 // NewFunnel starts the forwarding goroutine for sink.
 func NewFunnel(sink Observer) *Funnel {
 	f := &Funnel{ch: make(chan Event, 256), done: make(chan struct{})}
+	//htpvet:allow nakedgoroutine -- vetted funnel forwarder: a panicking sink is a caller bug; containing it would silently drop the rest of the trace
 	go func() {
 		defer close(f.done)
 		for e := range f.ch {
