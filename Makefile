@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck race check bench
+.PHONY: build test vet lint staticcheck race check bench verify verify-quick
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,18 @@ race:
 
 # Full pre-merge gate: build, vet, htpvet, staticcheck, unit tests, race pass.
 check: build vet lint staticcheck test race
+
+# Differential certification: run all six algorithm variants (GFM/RFM/FLOW and
+# their FM-refined "+" forms) on the generated ISCAS-85 suite and re-verify
+# every result with the independent checker in internal/verify — naive cost
+# recomputation, capacity/branching/coverage feasibility, the anytime stop
+# contract, and the Lemma-1 cross-check. Exits non-zero on any discrepancy.
+verify:
+	$(GO) run ./cmd/htpcheck -suite
+
+# Same certification on the first two circuits only; fast enough for CI.
+verify-quick:
+	$(GO) run ./cmd/htpcheck -suite -quick
 
 # Machine-readable benchmark records for the two scaling claims of §3.3:
 # Algorithm 2 (spreading metric; sequential vs parallel workers) and the

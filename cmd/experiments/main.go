@@ -36,6 +36,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/metric"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 var (
@@ -56,6 +57,18 @@ var (
 	// built in main from -trace/-log-level/-report; nil when all are off.
 	observer obs.Observer
 )
+
+// certify re-verifies a solver result with the independent checker before
+// its numbers enter any table: naive cost recomputation, feasibility,
+// Lemma 1, and anytime-contract consistency. Every figure printed by this
+// command has passed it — a discrepancy aborts the run rather than
+// publishing an uncertified number into EXPERIMENTS.md.
+func certify(label string, res *htp.Result) *htp.Result {
+	if rep := verify.Result(res); !rep.OK() {
+		fatal(fmt.Errorf("%s failed independent verification: %w", label, rep.Err()))
+	}
+	return res
+}
 
 // injectOpts returns the Algorithm 2 options every section uses, carrying
 // the -workers choice. The observer only reaches standalone metric calls:
@@ -234,6 +247,7 @@ func table2and3() {
 		if err != nil {
 			fatal(err)
 		}
+		certify(cs.Name+"/flow", fres)
 		r.flowCPU = time.Since(t0).Seconds()
 		r.flow = fres.Cost
 
@@ -241,28 +255,31 @@ func table2and3() {
 		if err != nil {
 			fatal(err)
 		}
-		r.rfm = rres.Cost
+		r.rfm = certify(cs.Name+"/rfm", rres).Cost
 		gres, err := htp.GFMCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed, Observer: observer})
 		if err != nil {
 			fatal(err)
 		}
-		r.gfm = gres.Cost
+		r.gfm = certify(cs.Name+"/gfm", gres).Cost
 
 		// "+" variants refine fresh runs of the constructives.
 		fp, fi, err := htp.FlowPlusCtx(runCtx, h, spec, fopt, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
+		certify(cs.Name+"/flow+", fp)
 		r.flowP, r.flowI = fp.Cost, improvement(fi, fp.Cost)
 		rp, ri, err := htp.RFMPlusCtx(runCtx, h, spec, htp.RFMOptions{Seed: *seed, Observer: observer}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
+		certify(cs.Name+"/rfm+", rp)
 		r.rfmP, r.rfmI = rp.Cost, improvement(ri, rp.Cost)
 		gp, gi, err := htp.GFMPlusCtx(runCtx, h, spec, htp.GFMOptions{Seed: *seed, Observer: observer}, fm.RefineOptions{})
 		if err != nil {
 			fatal(err)
 		}
+		certify(cs.Name+"/gfm+", gp)
 		r.gfmP, r.gfmI = gp.Cost, improvement(gi, gp.Cost)
 		rows = append(rows, r)
 	}
@@ -347,6 +364,7 @@ func figure2() {
 	if err != nil {
 		fatal(err)
 	}
+	certify("figure2/flow", res)
 	fmt.Printf("FLOW (N=8) finds cost %.0f\n", res.Cost)
 	fmt.Println()
 }
@@ -404,6 +422,7 @@ func metricQuality() {
 		if err != nil {
 			fatal(err)
 		}
+		certify(cs.Name+"/metric-quality", res)
 		var cutSum, cutN, inSum, inN float64
 		for e := 0; e < h.NumNets(); e++ {
 			if res.Partition.Span(hypergraph.NetID(e), 0) > 0 {
@@ -434,7 +453,7 @@ func ablation() {
 			if err != nil {
 				fatal(err)
 			}
-			return r.Cost
+			return certify("ablation/defaults", r).Cost
 		}},
 		{"coarse injection (Δ=0.5)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
 			r, err := htp.FlowCtx(runCtx, h, spec, htp.FlowOptions{Iterations: 2, Seed: *seed,
@@ -442,35 +461,35 @@ func ablation() {
 			if err != nil {
 				fatal(err)
 			}
-			return r.Cost
+			return certify("ablation/coarse-injection", r).Cost
 		}},
 		{"single carve attempt", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
 			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.Build = htp.BuildOptions{CarveAttempts: 1}; return o }())
 			if err != nil {
 				fatal(err)
 			}
-			return r.Cost
+			return certify("ablation/single-carve", r).Cost
 		}},
 		{"fixed LB (paper literal)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
 			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.Build = htp.BuildOptions{FixedLB: true}; return o }())
 			if err != nil {
 				fatal(err)
 			}
-			return r.Cost
+			return certify("ablation/fixed-lb", r).Cost
 		}},
 		{"8 partitions per metric", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
 			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.PartitionsPerMetric = 8; return o }())
 			if err != nil {
 				fatal(err)
 			}
-			return r.Cost
+			return certify("ablation/8-per-metric", r).Cost
 		}},
 		{"polished cuts (§5 f.work)", func(h *hypergraph.Hypergraph, spec hierarchy.Spec) float64 {
 			r, err := htp.FlowCtx(runCtx, h, spec, func() htp.FlowOptions { o := flowOpts(2); o.Build = htp.BuildOptions{PolishCuts: true}; return o }())
 			if err != nil {
 				fatal(err)
 			}
-			return r.Cost
+			return certify("ablation/polish", r).Cost
 		}},
 	}
 	results := make([][]float64, len(variants))

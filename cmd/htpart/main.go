@@ -44,6 +44,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/metric"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -67,6 +68,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "render a live progress line on stderr")
 		report     = flag.String("report", "", "write a per-run JSON report to this file")
 		lbRounds   = flag.Int("lb", 0, "cutting-plane rounds for the LP lower bound in the report/output (0 = skip; small instances only)")
+		save       = flag.String("save", "", "write the partition dump (JSON) to this file for later htpcheck -partition verification")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -193,11 +195,16 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	if err := res.Partition.Validate(); err != nil {
-		fatal(fmt.Errorf("result failed validation: %w", err))
+	// Independent re-verification (internal/verify): recompute cost and
+	// feasibility with code the solvers share nothing with, cross-check
+	// Lemma 1 and the anytime contract. A discrepancy here is a solver bug,
+	// not a usage error — never print an unverified partition as a result.
+	if vrep := verify.Result(res); !vrep.OK() {
+		fatal(fmt.Errorf("result failed independent verification: %w", vrep.Err()))
 	}
 	fmt.Printf("algorithm: %s\n", *algo)
 	fmt.Printf("cost:      %.0f\n", res.Cost)
+	fmt.Printf("verified:  cost, feasibility, and Lemma-1 re-checked independently\n")
 	if plus {
 		if initial > 0 {
 			fmt.Printf("initial:   %.0f (improvement %.1f%%)\n",
@@ -263,6 +270,24 @@ func main() {
 		}
 		if jerr != nil {
 			fmt.Fprintln(os.Stderr, "htpart: report:", jerr)
+		}
+	}
+
+	if *save != "" {
+		d := hierarchy.DumpPartition(res.Partition, res.Cost)
+		d.Netlist = *in
+		d.Algorithm = *algo
+		d.Seed = *seed
+		d.Stop = string(res.Stop)
+		f, serr := os.Create(*save)
+		if serr == nil {
+			serr = d.WriteJSON(f)
+			if cerr := f.Close(); serr == nil {
+				serr = cerr
+			}
+		}
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "htpart: save:", serr)
 		}
 	}
 

@@ -1,0 +1,122 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/hypergraph"
+)
+
+// PartitionDump is the portable serialized form of a solver result: enough
+// to reconstruct the partition against its netlist and re-verify every claim
+// in it with independent code (cmd/htpcheck). The netlist itself is not
+// embedded — it travels as an hMETIS file next to the dump — so a dump is
+// small even for large instances.
+type PartitionDump struct {
+	// Netlist names the instance (a file path or a generator name like
+	// "c7552"). Informational; the checker receives the netlist separately.
+	Netlist string `json:"netlist,omitempty"`
+	// Algorithm and Seed record how the partition was produced.
+	Algorithm string `json:"algorithm,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// Stop is the anytime stop reason of the producing run, if any.
+	Stop string `json:"stop,omitempty"`
+	// Cost is the producer's claimed interconnection cost — the number the
+	// checker recomputes from scratch.
+	Cost float64 `json:"cost"`
+	Spec Spec    `json:"spec"`
+	// Parent and Level encode the layered tree: Parent[0] = -1 for the root,
+	// and every parent precedes its children in ID order (the Tree builder
+	// guarantees this, and decoding relies on it).
+	Parent []int32 `json:"parent"`
+	Level  []int32 `json:"level"`
+	// LeafOf[v] is the tree leaf holding node v.
+	LeafOf []int32 `json:"leafOf"`
+}
+
+// DumpPartition captures p and its claimed cost into a PartitionDump. The
+// metadata fields (Netlist, Algorithm, Seed, Stop) are left for the caller.
+func DumpPartition(p *Partition, cost float64) *PartitionDump {
+	t := p.Tree
+	d := &PartitionDump{
+		Cost:   cost,
+		Spec:   p.Spec.Clone(),
+		Parent: make([]int32, t.NumVertices()),
+		Level:  make([]int32, t.NumVertices()),
+		LeafOf: append([]int32(nil), p.LeafOf...),
+	}
+	for q := 0; q < t.NumVertices(); q++ {
+		d.Parent[q] = int32(t.Parent(q))
+		d.Level[q] = int32(t.Level(q))
+	}
+	return d
+}
+
+// Partition reconstructs the dumped partition over h. The tree is rebuilt
+// vertex by vertex in ID order — valid because AddChild appends, so any tree
+// this package produced lists parents before children — and the dump's
+// Level column is cross-checked against the rebuilt layering. Assignments
+// are installed raw; semantic validity (coverage, capacities, branching) is
+// the verifier's job, not the decoder's.
+func (d *PartitionDump) Partition(h *hypergraph.Hypergraph) (*Partition, error) {
+	if len(d.Parent) == 0 {
+		return nil, fmt.Errorf("hierarchy: dump has no tree")
+	}
+	if len(d.Level) != len(d.Parent) {
+		return nil, fmt.Errorf("hierarchy: dump has %d levels for %d vertices", len(d.Level), len(d.Parent))
+	}
+	if d.Parent[0] != -1 {
+		return nil, fmt.Errorf("hierarchy: dump root has parent %d", d.Parent[0])
+	}
+	if d.Level[0] < 0 {
+		return nil, fmt.Errorf("hierarchy: dump root level %d", d.Level[0])
+	}
+	tree := NewTree(int(d.Level[0]))
+	for q := 1; q < len(d.Parent); q++ {
+		parent := int(d.Parent[q])
+		if parent < 0 || parent >= q {
+			return nil, fmt.Errorf("hierarchy: dump vertex %d has parent %d (want 0..%d)", q, parent, q-1)
+		}
+		if tree.Level(parent) == 0 {
+			return nil, fmt.Errorf("hierarchy: dump vertex %d hangs below leaf %d", q, parent)
+		}
+		id := tree.AddChild(parent)
+		if id != q {
+			return nil, fmt.Errorf("hierarchy: dump vertex IDs not dense at %d", q)
+		}
+		if int32(tree.Level(q)) != d.Level[q] {
+			return nil, fmt.Errorf("hierarchy: dump vertex %d claims level %d, layering gives %d",
+				q, d.Level[q], tree.Level(q))
+		}
+	}
+	if len(d.LeafOf) != h.NumNodes() {
+		return nil, fmt.Errorf("hierarchy: dump assigns %d nodes, netlist has %d", len(d.LeafOf), h.NumNodes())
+	}
+	p := NewPartition(h, d.Spec, tree)
+	for v, leaf := range d.LeafOf {
+		if leaf < -1 || int(leaf) >= tree.NumVertices() {
+			return nil, fmt.Errorf("hierarchy: dump assigns node %d to vertex %d out of range", v, leaf)
+		}
+		p.LeafOf[v] = leaf
+	}
+	return p, nil
+}
+
+// WriteJSON serializes the dump as indented JSON.
+func (d *PartitionDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a PartitionDump from JSON.
+func ReadDump(r io.Reader) (*PartitionDump, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var d PartitionDump
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("hierarchy: decoding dump: %w", err)
+	}
+	return &d, nil
+}

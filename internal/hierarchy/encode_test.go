@@ -1,0 +1,104 @@
+package hierarchy
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func dumpFixture(t *testing.T) (*Partition, *PartitionDump) {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(4)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 2, 1, 2)
+	b.AddNet("", 1, 2, 3)
+	h := b.MustBuild()
+	spec := Spec{Capacity: []int64{2, 4}, Weight: []float64{1, 2}, Branch: []int{2, 2}}
+	tree := NewTree(2)
+	mid := tree.AddChild(tree.Root())
+	l0 := tree.AddChild(mid)
+	l1 := tree.AddChild(mid)
+	p := NewPartition(h, spec, tree)
+	p.Assign(0, l0)
+	p.Assign(1, l0)
+	p.Assign(2, l1)
+	p.Assign(3, l1)
+	d := DumpPartition(p, p.Cost())
+	d.Netlist = "fixture"
+	d.Algorithm = "hand"
+	d.Seed = 7
+	d.Stop = "converged"
+	return p, d
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	p, d := dumpFixture(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := d2.Partition(p.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cost() != p.Cost() {
+		t.Fatalf("cost %g -> %g across round trip", p.Cost(), q.Cost())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := range p.LeafOf {
+		if p.LeafOf[v] != q.LeafOf[v] {
+			t.Fatalf("node %d leaf %d -> %d", v, p.LeafOf[v], q.LeafOf[v])
+		}
+	}
+	if d2.Algorithm != "hand" || d2.Seed != 7 || d2.Stop != "converged" {
+		t.Fatalf("metadata lost: %+v", d2)
+	}
+	// The dump must not alias the source partition.
+	d.LeafOf[0] = 99
+	if q.LeafOf[0] == 99 {
+		t.Fatal("dump aliases the partition's assignment")
+	}
+}
+
+func TestDumpDecodeRejectsCorruptTrees(t *testing.T) {
+	p, good := dumpFixture(t)
+	corrupt := []func(d *PartitionDump){
+		func(d *PartitionDump) { d.Parent = nil; d.Level = nil },
+		func(d *PartitionDump) { d.Parent[0] = 2 },
+		func(d *PartitionDump) { d.Parent[2] = 3 },  // forward reference
+		func(d *PartitionDump) { d.Parent[2] = -1 }, // second root
+		func(d *PartitionDump) { d.Level[3] = 2 },   // layering mismatch
+		func(d *PartitionDump) { d.Level = d.Level[:2] },
+		func(d *PartitionDump) { d.LeafOf = d.LeafOf[:1] },
+		func(d *PartitionDump) { d.LeafOf[0] = 99 },
+		func(d *PartitionDump) { d.Parent = append(d.Parent, 2); d.Level = append(d.Level, 0) }, // child below a leaf
+	}
+	for i, mutate := range corrupt {
+		var buf bytes.Buffer
+		if err := good.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(d)
+		if _, err := d.Partition(p.H); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+}
+
+func TestReadDumpRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadDump(bytes.NewReader([]byte(`{"cost": 1, "bogus": true}`))); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -32,6 +32,15 @@ type Spec struct {
 // level L).
 func (s Spec) Height() int { return len(s.Capacity) }
 
+// Clone returns a deep copy.
+func (s Spec) Clone() Spec {
+	return Spec{
+		Capacity: append([]int64(nil), s.Capacity...),
+		Weight:   append([]float64(nil), s.Weight...),
+		Branch:   append([]int(nil), s.Branch...),
+	}
+}
+
 // Validate checks structural sanity: equal lengths, positive capacities
 // non-decreasing with level, non-negative weights, and branch bounds >= 2
 // (a vertex limited to one child could never partition anything). Failures

@@ -161,6 +161,13 @@ func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.Nod
 			}
 			piece = b.carve(remaining, remD, lb, ub)
 		}
+		if len(piece) == 0 {
+			// findCut returns nil when no single node fits under ub, and a
+			// custom engine may misbehave the same way. Recursing on an empty
+			// piece would loop forever with remaining never shrinking.
+			return fmt.Errorf("htp: cut engine produced no feasible block at level %d (ub %d): %w",
+				level, ub, anytime.ErrOversizedNode)
+		}
 
 		child := tree.AddChild(q)
 		pieceOrig := make([]hypergraph.NodeID, len(piece))

@@ -25,7 +25,10 @@ import (
 // ub is a hard bound: no returned set exceeds it. If no prefix lands inside
 // the window (possible with lumpy node sizes), the largest prefix not
 // exceeding ub is returned. If the graph is disconnected the growth restarts
-// on a fresh component. d is indexed by net.
+// on a fresh component. If a drawn seed is itself larger than ub the growth
+// reseeds on the next node (by index) that fits; nil is returned when every
+// node exceeds ub, since no non-empty subset can respect the bound. d is
+// indexed by net.
 func findCut(h *hypergraph.Hypergraph, d []float64, lb, ub int64, rng *rand.Rand) []hypergraph.NodeID {
 	n := h.NumNodes()
 	if n == 0 {
@@ -70,6 +73,24 @@ func findCut(h *hypergraph.Hypergraph, d []float64, lb, ub int64, rng *rand.Rand
 	}
 
 	seed := hypergraph.NodeID(rng.Intn(n))
+	if h.NodeSize(seed) > ub {
+		// The drawn node alone violates the hard bound; the old fallback
+		// would have returned it anyway as a C_0-violating singleton. Reseed
+		// deterministically on the next node (by index) that fits — the RNG
+		// stream still advances by exactly one draw, so seeds that already
+		// fit are unaffected. If nothing fits, no feasible block exists.
+		reseeded := false
+		for off := 1; off < n; off++ {
+			v := hypergraph.NodeID((int(seed) + off) % n)
+			if h.NodeSize(v) <= ub {
+				seed, reseeded = v, true
+				break
+			}
+		}
+		if !reseeded {
+			return nil
+		}
+	}
 	add(seed)
 	for size < ub {
 		var next hypergraph.NodeID
@@ -114,8 +135,7 @@ func findCut(h *hypergraph.Hypergraph, d []float64, lb, ub int64, rng *rand.Rand
 	if bestLen == 0 {
 		bestLen = lastLen
 		if bestLen == 0 {
-			bestLen = 1 // at least the seed (a single node never exceeds ub
-			//             when node sizes respect C_0 <= ub)
+			bestLen = 1 // at least the seed, guaranteed <= ub by the reseed
 		}
 	}
 	return append([]hypergraph.NodeID(nil), order[:bestLen]...)

@@ -12,6 +12,7 @@ package hypergraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -96,8 +97,10 @@ func (h *Hypergraph) Validate() error {
 		if len(ps) < 2 {
 			return fmt.Errorf("hypergraph: net %d has cardinality %d < 2", e, len(ps))
 		}
-		if h.netCaps[e] < 0 {
-			return fmt.Errorf("hypergraph: net %d has negative capacity %g", e, h.netCaps[e])
+		if !(h.netCaps[e] >= 0) || math.IsInf(h.netCaps[e], 1) {
+			// The negated form also rejects NaN, which compares false to
+			// everything and would sail through a plain `< 0` check.
+			return fmt.Errorf("hypergraph: net %d has non-finite or negative capacity %g", e, h.netCaps[e])
 		}
 		seen := make(map[NodeID]bool, len(ps))
 		for _, v := range ps {
@@ -186,8 +189,8 @@ func (b *Builder) AddUnitNodes(count int) NodeID {
 }
 
 // AddNet appends a net with the given name, capacity, and pins and returns
-// its ID. Nets with fewer than 2 distinct pins are rejected at Build time;
-// duplicate pins within a net are rejected here.
+// its ID. Nets with fewer than 2 distinct pins, duplicate pins within a net,
+// and non-finite capacities are all rejected at Build time (via Validate).
 func (b *Builder) AddNet(name string, capacity float64, pins ...NodeID) NetID {
 	id := NetID(len(b.pins))
 	b.netNames = append(b.netNames, name)

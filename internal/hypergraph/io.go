@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -18,7 +19,10 @@ import (
 //
 // fmt semantics follow hMETIS: 1 = nets have capacities (first number on each
 // net line), 10 = nodes have sizes (trailing block), 11 = both. Absent
-// weights default to 1.
+// weights default to 1. Blank and whitespace-only lines are skipped anywhere;
+// repeated pins within a net line are canonicalized to their first occurrence
+// (a net still needs >= 2 distinct pins); content after the declared records
+// is an error.
 
 // Write serializes the hypergraph in the extended hMETIS format.
 func (h *Hypergraph) Write(w io.Writer) error {
@@ -86,6 +90,13 @@ func (h *Hypergraph) WriteFile(path string) error {
 	return f.Sync()
 }
 
+// MaxDeclaredCount bounds the node and net counts a netlist header may
+// declare — a sanity limit three orders of magnitude above the largest
+// benchmark this repository handles. Without it a hostile (or truncated)
+// header like "600000000000000 0" makes the parser allocate per the declared
+// count before a single record is read.
+const MaxDeclaredCount = 1 << 22
+
 // ReadFrom parses a hypergraph in the extended hMETIS format.
 func ReadFrom(r io.Reader) (*Hypergraph, error) {
 	sc := bufio.NewScanner(r)
@@ -112,11 +123,11 @@ func ReadFrom(r io.Reader) (*Hypergraph, error) {
 		return nil, fmt.Errorf("hypergraph: malformed header %q", strings.Join(header, " "))
 	}
 	numNets, err := strconv.Atoi(header[0])
-	if err != nil || numNets < 0 {
+	if err != nil || numNets < 0 || numNets > MaxDeclaredCount {
 		return nil, fmt.Errorf("hypergraph: bad net count %q", header[0])
 	}
 	numNodes, err := strconv.Atoi(header[1])
-	if err != nil || numNodes < 0 {
+	if err != nil || numNodes < 0 || numNodes > MaxDeclaredCount {
 		return nil, fmt.Errorf("hypergraph: bad node count %q", header[1])
 	}
 	format := 0
@@ -147,7 +158,9 @@ func ReadFrom(r io.Reader) (*Hypergraph, error) {
 		rec := netRec{cap: 1}
 		if hasCaps {
 			rec.cap, err = strconv.ParseFloat(fields[0], 64)
-			if err != nil || rec.cap < 0 {
+			if err != nil || !(rec.cap >= 0) || math.IsInf(rec.cap, 1) {
+				// !(cap >= 0) also catches NaN, which ParseFloat accepts and
+				// a plain `< 0` check would wave through.
 				return nil, fmt.Errorf("hypergraph: net %d: bad capacity %q", e+1, fields[0])
 			}
 			fields = fields[1:]
@@ -155,12 +168,23 @@ func ReadFrom(r io.Reader) (*Hypergraph, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("hypergraph: net %d has %d pins, need >= 2", e+1, len(fields))
 		}
+		// Real benchmark files repeat pins (a cell wired to a net twice);
+		// canonicalize by keeping the first occurrence of each.
+		seen := make(map[NodeID]bool, len(fields))
 		for _, f := range fields {
 			pin, err := strconv.Atoi(f)
 			if err != nil || pin < 1 || pin > numNodes {
 				return nil, fmt.Errorf("hypergraph: net %d: bad pin %q", e+1, f)
 			}
-			rec.pins = append(rec.pins, NodeID(pin-1))
+			id := NodeID(pin - 1)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			rec.pins = append(rec.pins, id)
+		}
+		if len(rec.pins) < 2 {
+			return nil, fmt.Errorf("hypergraph: net %d has %d distinct pins, need >= 2", e+1, len(rec.pins))
 		}
 		nets = append(nets, rec)
 	}
@@ -170,12 +194,23 @@ func ReadFrom(r io.Reader) (*Hypergraph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("hypergraph: node size %d: %w", v+1, err)
 			}
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("hypergraph: node %d: size line has %d fields, want 1", v+1, len(fields))
+			}
 			s, err := strconv.ParseInt(fields[0], 10, 64)
 			if err != nil || s <= 0 {
 				return nil, fmt.Errorf("hypergraph: node %d: bad size %q", v+1, fields[0])
 			}
 			sizes[v] = s
 		}
+	}
+	// Anything after the declared records is not format-conforming; a count
+	// mismatch silently ignored here would shear pins off the instance.
+	if extra, err := next(); err == nil {
+		return nil, fmt.Errorf("hypergraph: trailing content %q after %d nets and %d node sizes",
+			strings.Join(extra, " "), numNets, numNodes)
+	} else if err != io.EOF {
+		return nil, err
 	}
 	for v := 0; v < numNodes; v++ {
 		b.AddNode("", sizes[v])

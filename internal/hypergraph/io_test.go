@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -126,10 +127,71 @@ func TestReadErrors(t *testing.T) {
 		"missing nets": "2 2\n1 2\n",
 		"bad size":     "1 2 10\n1 2\n0\n",
 		"neg cap":      "1 2 1\n-1 1 2\n",
+		// Regressions: these all parsed (or mis-parsed) before the reader
+		// hardening.
+		"nan cap":          "1 2 1\nNaN 1 2\n",
+		"inf cap":          "1 2 1\nInf 1 2\n",
+		"self loop":        "1 2\n1 1\n", // collapses to 1 distinct pin
+		"trailing garbage": "1 2\n1 2\n5 6 7\n",
+		// Found by FuzzSolvePipeline: a header declaring 6e14 nets made
+		// ReadFrom preallocate ~19 TB before reading a single record.
+		"huge net count":  "0000600000000000 0\n",
+		"huge node count": "0 99999999999\n",
+		"trailing size":    "1 2 10\n1 2\n3\n3\n4\n",
+		"wide size line":   "1 2 10\n1 2\n3 4\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadFrom(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Regression: duplicate pins inside a net line used to flow into Build and
+// fail there with a confusing validation error (or, for readers that skip
+// Validate, corrupt incidence counts). They now canonicalize to the first
+// occurrence.
+func TestReadCanonicalizesDuplicatePins(t *testing.T) {
+	h, err := ReadFrom(strings.NewReader("2 3\n1 2 1 3 2\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{0, 1, 2}
+	got := h.Pins(0)
+	if len(got) != len(want) {
+		t.Fatalf("pins = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pins = %v, want %v (first occurrences, in order)", got, want)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSkipsBlankAndCommentLines(t *testing.T) {
+	in := "% header comment\n\n  \t \n2 3 1\n\n1.5 1 2\n  % interior comment\n2 2 3\n\n% trailing comment\n"
+	h, err := ReadFrom(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNets() != 2 || h.NumNodes() != 3 {
+		t.Fatalf("shape %d %d", h.NumNets(), h.NumNodes())
+	}
+	if h.NetCapacity(0) != 1.5 {
+		t.Fatalf("cap = %g", h.NetCapacity(0))
+	}
+}
+
+func TestValidateRejectsNonFiniteCapacity(t *testing.T) {
+	for _, cap := range []float64{math.NaN(), math.Inf(1)} {
+		b := NewBuilder()
+		b.AddUnitNodes(2)
+		b.AddNet("", cap, 0, 1)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("capacity %g accepted", cap)
 		}
 	}
 }

@@ -177,7 +177,10 @@ func separate(h *hypergraph.Hypergraph, spec hierarchy.Spec, spt *shortest.Hyper
 		lhs += v.Dist * float64(h.NodeSize(v.Node))
 		sizeAt = append(sizeAt, size)
 		bound := spec.G(size)
-		if deficit := bound - lhs; deficit > 1e-9*max1(bound) {
+		// Same relative tolerance as CheckFrom: the separation oracle and the
+		// feasibility check must agree on what counts as violated, or the
+		// cutting-plane loop can report convergence on a metric Check rejects.
+		if deficit := bound - lhs; deficit > tolAt(lhs, bound) {
 			k := len(prefix) - 1
 			if first < 0 {
 				first = k

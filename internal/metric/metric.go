@@ -14,6 +14,7 @@ package metric
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
@@ -79,8 +80,17 @@ func (v *Violation) String() string {
 }
 
 // tolerance for constraint comparisons: LHS is considered sufficient when
-// within a relative epsilon of the bound, absorbing float accumulation.
+// within a relative epsilon of the compared magnitudes, absorbing float
+// accumulation. The scale is max(lhs, bound) — an earlier max(bound, 1)
+// floor silently turned this into an absolute 1e-9 for bounds below 1,
+// masking genuine violations on small-w_l specs.
 const relTol = 1e-9
+
+// tolAt returns the comparison tolerance at the magnitude of lhs vs bound
+// (both non-negative by construction).
+func tolAt(lhs, bound float64) float64 {
+	return relTol * math.Max(lhs, bound)
+}
 
 // CheckFrom verifies constraint (5) for a single root v across all k,
 // returning the first violation met while growing the shortest-path tree in
@@ -98,7 +108,7 @@ func CheckFrom(m *Metric, spec hierarchy.Spec, spt *shortest.HyperSPT, root hype
 		size += m.H.NodeSize(v.Node)
 		lhs += v.Dist * float64(m.H.NodeSize(v.Node))
 		bound := spec.G(size)
-		if lhs < bound-relTol*max1(bound) {
+		if lhs < bound-tolAt(lhs, bound) {
 			bad = &Violation{Root: root, K: k, Size: size, LHS: lhs, Bound: bound}
 			return false
 		}
@@ -119,11 +129,4 @@ func Check(m *Metric, spec hierarchy.Spec) *Violation {
 		}
 	}
 	return nil
-}
-
-func max1(x float64) float64 {
-	if x < 1 {
-		return 1
-	}
-	return x
 }

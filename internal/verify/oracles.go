@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"context"
+
+	"repro/internal/anytime"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/metric"
+)
+
+// Result re-verifies a solver result end to end: the partition itself
+// (Partition), the reported cost against the naive recomputation, the
+// Lemma-1 metric identity, and the anytime-contract consistency of
+// Result.Stop and Result.Failures. This is the check every emitted solver
+// result should pass before anything downstream trusts it.
+func Result(res *htp.Result) *Report {
+	if res == nil {
+		r := &Report{}
+		r.fail("result", "nil result")
+		return r
+	}
+	r := Certify(res.Partition, res.Cost)
+	checkStop(r, res)
+	if r.OK() {
+		Lemma1(r, res.Partition)
+	}
+	return r
+}
+
+// checkStop verifies the anytime contract on a successful result: Stop is
+// one of the documented reasons (a best-so-far result must always say why
+// the run ended), the iteration count is sane, and every recorded failure is
+// an actual error. A converged run may still carry failures — contained
+// panics whose sibling iterations won — but a result with no reason at all
+// escaped the contract.
+func checkStop(r *Report, res *htp.Result) {
+	switch res.Stop {
+	case anytime.StopConverged, anytime.StopMaxRounds, anytime.StopDeadline, anytime.StopCancelled:
+	case "":
+		r.fail("stop", "result carries no stop reason")
+	default:
+		r.fail("stop", "unknown stop reason %q", res.Stop)
+	}
+	if res.Iterations < 1 {
+		r.fail("stop", "result reports %d iterations", res.Iterations)
+	}
+	for i, f := range res.Failures {
+		if f == nil {
+			r.fail("stop", "Failures[%d] is nil", i)
+		}
+	}
+}
+
+// Lemma1 cross-checks the paper's Lemma 1: the spreading metric induced by a
+// partition (d(e) = cost(e)/c(e)) has LP value Σ_e c(e)·d(e) equal to the
+// partition's cost. metric.FromPartition and the naive cost recomputation
+// share no code, so agreement here certifies both.
+func Lemma1(r *Report, p *hierarchy.Partition) {
+	induced := metric.FromPartition(p)
+	if v := induced.Value(); !SameCost(v, r.Cost) {
+		r.fail("lemma1", "induced metric value %.17g != independent cost %.17g", v, r.Cost)
+	}
+}
+
+// LowerBound cross-checks the paper's Lemma 2 against a reported cost: the
+// spreading-metric LP optimum lower-bounds every feasible partition, so a
+// cost below the proven bound means producer or bound is wrong. The LP uses
+// dense simplex — small instances only. maxRounds caps the cutting-plane
+// loop (0 = the LP's default). The bound proven so far is returned (0 when
+// the computation failed or was interrupted before proving anything).
+func LowerBound(ctx context.Context, r *Report, p *hierarchy.Partition, maxRounds int) float64 {
+	lb, err := metric.ExactLowerBoundCtx(ctx, p.H, p.Spec, maxRounds)
+	if err != nil {
+		r.fail("lowerbound", "LP lower bound failed: %v", err)
+		return 0
+	}
+	// Every relaxation optimum is already a valid bound, converged or not.
+	if lb.Value > r.Cost && !SameCost(lb.Value, r.Cost) {
+		r.fail("lowerbound", "LP lower bound %.17g exceeds reported cost %.17g", lb.Value, r.Cost)
+	}
+	return lb.Value
+}
+
+// BruteForce cross-checks a reported cost against the exhaustive oracle on a
+// tiny instance: no heuristic may beat the optimum, and the optimum itself
+// must pass the independent verifier. Exponential — callers guard the size.
+func BruteForce(r *Report, p *hierarchy.Partition) {
+	opt, optCost, err := htp.BruteForce(p.H, p.Spec)
+	if err != nil {
+		r.fail("brute", "oracle failed: %v", err)
+		return
+	}
+	if or := Certify(opt, optCost); !or.OK() {
+		r.fail("brute", "oracle's own optimum fails verification: %v", or.Err())
+		return
+	}
+	if r.Cost < optCost && !SameCost(r.Cost, optCost) {
+		r.fail("brute", "reported cost %.17g beats the exhaustive optimum %.17g", r.Cost, optCost)
+	}
+}

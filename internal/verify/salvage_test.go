@@ -1,0 +1,82 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/anytime"
+	"repro/internal/circuits"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+)
+
+// TestSalvagedResultsPassIndependentVerification is the ISSUE's salvage
+// property: whatever deadline interrupts FlowCtx, any result it returns —
+// converged, best-so-far, or salvaged from a partial metric — must pass the
+// full independent verifier. No partially-built tree may ever escape with a
+// capacity, coverage, or cost discrepancy; runs interrupted before any
+// partition exists must report ErrNoPartition instead of a result.
+func TestSalvagedResultsPassIndependentVerification(t *testing.T) {
+	h := circuits.Generate(circuits.ISCAS85[0], 1)
+	spec, err := hierarchy.BinaryTreeSpec(h.TotalSize(), 4, hierarchy.GeometricWeights(4, 2), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlines := []time.Duration{
+		50 * time.Microsecond, 200 * time.Microsecond, 1 * time.Millisecond,
+		5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond,
+	}
+	var salvaged, errored, verified int
+	for _, d := range deadlines {
+		for seed := int64(1); seed <= 4; seed++ {
+			ctx, cancel := context.WithTimeout(context.Background(), d)
+			res, err := htp.FlowCtx(ctx, h, spec, htp.FlowOptions{Iterations: 4, Seed: seed})
+			cancel()
+			if err != nil {
+				if !errors.Is(err, anytime.ErrNoPartition) {
+					t.Fatalf("deadline %v seed %d: error does not wrap ErrNoPartition: %v", d, seed, err)
+				}
+				errored++
+				continue
+			}
+			if res.Stop != anytime.StopConverged {
+				salvaged++
+			}
+			rep := Result(res)
+			if !rep.OK() {
+				t.Fatalf("deadline %v seed %d (%s): escaped verification: %v", d, seed, res.Stop, rep.Err())
+			}
+			verified++
+		}
+	}
+	t.Logf("verified %d results (%d interrupted before convergence), %d runs had nothing to salvage",
+		verified, salvaged, errored)
+	if verified == 0 {
+		t.Fatal("every run errored; deadlines too tight to exercise the property")
+	}
+}
+
+// GFM and RFM build exactly one partition, so cancellation before completion
+// has nothing to salvage: the error must wrap ErrNoPartition, never a
+// half-assigned partition.
+func TestSingleShotCancellationYieldsNoPartition(t *testing.T) {
+	h := circuits.Generate(circuits.ISCAS85[0], 1)
+	spec, err := hierarchy.BinaryTreeSpec(h.TotalSize(), 4, hierarchy.GeometricWeights(4, 2), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no solver may produce anything
+	if res, err := htp.GFMCtx(ctx, h, spec, htp.GFMOptions{}); err == nil {
+		t.Fatalf("GFM returned a result (%v) under a dead context", res.Cost)
+	} else if !errors.Is(err, anytime.ErrNoPartition) {
+		t.Fatalf("GFM error does not wrap ErrNoPartition: %v", err)
+	}
+	if res, err := htp.RFMCtx(ctx, h, spec, htp.RFMOptions{}); err == nil {
+		t.Fatalf("RFM returned a result (%v) under a dead context", res.Cost)
+	} else if !errors.Is(err, anytime.ErrNoPartition) {
+		t.Fatalf("RFM error does not wrap ErrNoPartition: %v", err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package verify independently re-certifies solver outputs. Every solver in
+// this repository certifies its own result with the same incremental code
+// that produced it (hierarchy.Partition.Cost, the CostState bookkeeping
+// behind FM refinement), so a shared bug — a span miscounted the same way by
+// producer and checker — is invisible. HTP quality cannot be certified
+// analytically either: even restricted hypergraph partitioning is
+// inapproximable, so the only trustworthy certificate for an emitted
+// partition is an independent re-check.
+//
+// This package is that trust boundary. It recomputes hierarchical cost,
+// spans, K_l/C_l feasibility, and leaf coverage from scratch with
+// deliberately naive code: direct definition-following loops, no incremental
+// state, no sharing with hierarchy's CostState or the solvers. It also
+// cross-checks solver results against independent oracles (the Lemma-1
+// metric identity, the LP lower bound, brute force on tiny instances) and
+// checks the anytime contract (Result.Stop / Result.Failures consistency).
+//
+// cmd/htpcheck exposes the verifier as a CLI; cmd/experiments and
+// cmd/htpart run it over every partition they emit.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// CostTol is the relative tolerance used when comparing two independently
+// computed costs: the naive sum and the incremental sum accumulate in
+// different orders, so they agree only up to float rounding.
+const CostTol = 1e-9
+
+// An Issue is one discrepancy found by the verifier.
+type Issue struct {
+	// Check names the failed check ("cost", "capacity", "coverage", ...).
+	Check string
+	// Detail describes the discrepancy.
+	Detail string
+}
+
+func (i Issue) String() string { return i.Check + ": " + i.Detail }
+
+// Report is the outcome of an independent re-verification.
+type Report struct {
+	// Cost is the naively recomputed hierarchical cost
+	// Σ_e Σ_l w_l·span(e,l)·c(e).
+	Cost float64
+	// LevelCosts is the naively recomputed per-level cost breakdown.
+	LevelCosts []float64
+	// BlockSizes is the naively recomputed per-vertex assigned size.
+	BlockSizes []int64
+	// Issues lists every discrepancy found; empty means certified.
+	Issues []Issue
+}
+
+// OK reports whether the verification found no discrepancies.
+func (r *Report) OK() bool { return len(r.Issues) == 0 }
+
+// Err returns nil when the report is clean, otherwise an error listing every
+// issue.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msgs := make([]string, len(r.Issues))
+	for i, is := range r.Issues {
+		msgs[i] = is.String()
+	}
+	return fmt.Errorf("verify: %d discrepancies: %s", len(r.Issues), strings.Join(msgs, "; "))
+}
+
+func (r *Report) fail(check, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Partition re-verifies a hierarchical tree partition from scratch: tree
+// shape, leaf coverage, C_l capacities, K_l branch bounds, and the
+// hierarchical cost, each recomputed by direct definition-following code.
+// The report's Cost and LevelCosts are valid whenever the structural checks
+// pass (cost checks are skipped on a structurally broken partition).
+func Partition(p *hierarchy.Partition) *Report {
+	r := &Report{}
+	if p == nil {
+		r.fail("partition", "nil partition")
+		return r
+	}
+	if p.H == nil || p.Tree == nil {
+		r.fail("partition", "partition missing hypergraph or tree")
+		return r
+	}
+	if !checkSpec(r, p.Spec) {
+		return r
+	}
+	if !checkTree(r, p) {
+		return r
+	}
+	if !checkCoverage(r, p) {
+		return r
+	}
+	checkSizes(r, p)
+	checkBranch(r, p)
+	checkCost(r, p)
+	return r
+}
+
+// Certify is Partition plus a cross-check of the reported cost against the
+// naive recomputation.
+func Certify(p *hierarchy.Partition, reportedCost float64) *Report {
+	r := Partition(p)
+	if !r.OK() {
+		return r
+	}
+	if !SameCost(reportedCost, r.Cost) {
+		r.fail("cost", "reported cost %.17g but independent recomputation finds %.17g", reportedCost, r.Cost)
+	}
+	return r
+}
+
+// SameCost reports whether two independently computed costs agree within
+// CostTol, relative to the larger magnitude. NaN never agrees with anything.
+func SameCost(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= CostTol*scale || diff == 0
+}
+
+// checkSpec re-validates the per-level parameters without calling
+// Spec.Validate, so a bug there cannot hide a malformed spec from the
+// verifier.
+func checkSpec(r *Report, s hierarchy.Spec) bool {
+	ok := true
+	L := len(s.Capacity)
+	if L == 0 {
+		r.fail("spec", "empty capacity vector")
+		return false
+	}
+	if len(s.Weight) != L || len(s.Branch) != L {
+		r.fail("spec", "slice lengths differ: cap=%d weight=%d branch=%d", L, len(s.Weight), len(s.Branch))
+		return false
+	}
+	for l := 0; l < L; l++ {
+		if s.Capacity[l] <= 0 {
+			r.fail("spec", "C_%d = %d not positive", l, s.Capacity[l])
+			ok = false
+		}
+		if l > 0 && s.Capacity[l] < s.Capacity[l-1] {
+			r.fail("spec", "C_%d = %d < C_%d = %d", l, s.Capacity[l], l-1, s.Capacity[l-1])
+			ok = false
+		}
+		if s.Weight[l] < 0 || math.IsNaN(s.Weight[l]) || math.IsInf(s.Weight[l], 0) {
+			r.fail("spec", "w_%d = %g not a finite non-negative weight", l, s.Weight[l])
+			ok = false
+		}
+		if s.Branch[l] < 2 {
+			r.fail("spec", "K_%d = %d < 2", l+1, s.Branch[l])
+			ok = false
+		}
+	}
+	return ok
+}
+
+// checkTree re-verifies the layered-tree invariants by walking the raw
+// parent/level/children relations: single root at the highest level, every
+// child exactly one level below its parent, parent and child lists mutually
+// consistent, and every vertex reaching the root (no cycles).
+func checkTree(r *Report, p *hierarchy.Partition) bool {
+	t := p.Tree
+	nv := t.NumVertices()
+	if nv == 0 {
+		r.fail("tree", "no vertices")
+		return false
+	}
+	root := t.Root()
+	if t.Parent(root) != -1 {
+		r.fail("tree", "root %d has parent %d", root, t.Parent(root))
+		return false
+	}
+	rootLevel := t.Level(root)
+	if rootLevel < 0 {
+		r.fail("tree", "root level %d negative", rootLevel)
+		return false
+	}
+	if rootLevel > len(p.Spec.Capacity) {
+		r.fail("tree", "root level %d exceeds spec height %d", rootLevel, len(p.Spec.Capacity))
+		return false
+	}
+	ok := true
+	for q := 0; q < nv; q++ {
+		par := t.Parent(q)
+		if q == root {
+			continue
+		}
+		if par < 0 || par >= nv {
+			r.fail("tree", "vertex %d has out-of-range parent %d", q, par)
+			return false
+		}
+		if t.Level(par) != t.Level(q)+1 {
+			r.fail("tree", "vertex %d at level %d under parent %d at level %d",
+				q, t.Level(q), par, t.Level(par))
+			ok = false
+		}
+		found := false
+		for _, c := range t.Children(par) {
+			if int(c) == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.fail("tree", "vertex %d missing from parent %d's child list", q, par)
+			ok = false
+		}
+	}
+	for q := 0; q < nv; q++ {
+		for _, c := range t.Children(q) {
+			if int(c) < 0 || int(c) >= nv {
+				r.fail("tree", "vertex %d has out-of-range child %d", q, c)
+				return false
+			}
+			if t.Parent(int(c)) != q {
+				r.fail("tree", "vertex %d lists child %d whose parent is %d", q, c, t.Parent(int(c)))
+				ok = false
+			}
+		}
+	}
+	// Every vertex must reach the root in at most nv parent steps.
+	for q := 0; q < nv; q++ {
+		v, steps := q, 0
+		for v != root {
+			v = t.Parent(v)
+			steps++
+			if v < 0 || steps > nv {
+				r.fail("tree", "vertex %d does not reach the root (cycle or broken chain)", q)
+				return false
+			}
+		}
+	}
+	return ok
+}
+
+// checkCoverage re-verifies leaf coverage: every hypergraph node is assigned
+// to an in-range, level-0 tree vertex.
+func checkCoverage(r *Report, p *hierarchy.Partition) bool {
+	n := p.H.NumNodes()
+	if len(p.LeafOf) != n {
+		r.fail("coverage", "LeafOf has %d entries for %d nodes", len(p.LeafOf), n)
+		return false
+	}
+	ok := true
+	for v := 0; v < n; v++ {
+		leaf := p.LeafOf[v]
+		switch {
+		case leaf < 0:
+			r.fail("coverage", "node %d unassigned", v)
+			ok = false
+		case int(leaf) >= p.Tree.NumVertices():
+			r.fail("coverage", "node %d assigned to out-of-range vertex %d", v, leaf)
+			ok = false
+		case p.Tree.Level(int(leaf)) != 0:
+			r.fail("coverage", "node %d assigned to non-leaf vertex %d (level %d)",
+				v, leaf, p.Tree.Level(int(leaf)))
+			ok = false
+		}
+	}
+	return ok
+}
+
+// checkSizes recomputes every block's total assigned size by walking each
+// node's root path and re-verifies the C_l capacity bounds (the root level is
+// unbounded).
+func checkSizes(r *Report, p *hierarchy.Partition) {
+	nv := p.Tree.NumVertices()
+	sizes := make([]int64, nv)
+	for v := 0; v < p.H.NumNodes(); v++ {
+		s := p.H.NodeSize(hypergraph.NodeID(v))
+		if s <= 0 {
+			r.fail("capacity", "node %d has non-positive size %d", v, s)
+			continue
+		}
+		for q := int(p.LeafOf[v]); q >= 0; q = p.Tree.Parent(q) {
+			sizes[q] += s
+		}
+	}
+	L := len(p.Spec.Capacity)
+	for q := 0; q < nv; q++ {
+		l := p.Tree.Level(q)
+		if l < L && sizes[q] > p.Spec.Capacity[l] {
+			r.fail("capacity", "vertex %d at level %d holds %d > C_%d = %d",
+				q, l, sizes[q], l, p.Spec.Capacity[l])
+		}
+	}
+	r.BlockSizes = sizes
+}
+
+// checkBranch re-verifies the K_l branch bounds: a vertex at level l+1 has at
+// most Branch[l] children.
+func checkBranch(r *Report, p *hierarchy.Partition) {
+	for q := 0; q < p.Tree.NumVertices(); q++ {
+		l := p.Tree.Level(q)
+		if l < 1 {
+			continue
+		}
+		if k := len(p.Tree.Children(q)); l-1 < len(p.Spec.Branch) && k > p.Spec.Branch[l-1] {
+			r.fail("branch", "vertex %d at level %d has %d > K_%d = %d children",
+				q, l, k, l, p.Spec.Branch[l-1])
+		}
+	}
+}
+
+// checkCost recomputes the hierarchical cost from its definition:
+// cost = Σ_e Σ_l w_l·span(e,l)·c(e), where span(e,l) is the number of
+// distinct level-l blocks holding pins of e (0 when all pins share one
+// block), summed over the levels below the root.
+func checkCost(r *Report, p *hierarchy.Partition) {
+	top := p.Tree.Level(p.Tree.Root())
+	if L := len(p.Spec.Capacity); top > L {
+		top = L
+	}
+	level := make([]float64, top)
+	var total float64
+	for e := 0; e < p.H.NumNets(); e++ {
+		c := p.H.NetCapacity(hypergraph.NetID(e))
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			r.fail("cost", "net %d has invalid capacity %g", e, c)
+			continue
+		}
+		for l := 0; l < top; l++ {
+			span := naiveSpan(p, hypergraph.NetID(e), l)
+			contrib := p.Spec.Weight[l] * float64(span) * c
+			level[l] += contrib
+			total += contrib
+		}
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+		r.fail("cost", "recomputed cost %g is not a finite non-negative number", total)
+	}
+	r.Cost = total
+	r.LevelCosts = level
+}
+
+// naiveSpan counts the distinct level-l blocks containing pins of net e by
+// walking each pin's ancestor chain — no caching, no incremental counts.
+func naiveSpan(p *hierarchy.Partition, e hypergraph.NetID, level int) int {
+	blocks := map[int]struct{}{}
+	for _, v := range p.H.Pins(e) {
+		q := int(p.LeafOf[v])
+		for p.Tree.Level(q) < level {
+			q = p.Tree.Parent(q)
+		}
+		blocks[q] = struct{}{}
+	}
+	if len(blocks) <= 1 {
+		return 0
+	}
+	return len(blocks)
+}
