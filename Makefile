@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck race check bench verify verify-quick
+.PHONY: build test vet lint staticcheck race check bench verify verify-quick loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,19 @@ race:
 
 # Full pre-merge gate: build, vet, htpvet, staticcheck, unit tests, race pass.
 check: build vet lint staticcheck test race
+
+# Service-level load profile: a client fleet saturates an in-process htpd
+# (queue deliberately smaller than the offered load) and asserts the
+# admission/latency contract; prints p50/p99 and the overload-rejection
+# count. Scale with LOADTEST_JOBS / LOADTEST_CLIENTS.
+loadtest:
+	$(GO) test -run TestLoadProfile -count=1 -v ./internal/server/
+
+# Fault-injection fleet: hundreds of jobs through a panicking, failing,
+# stalling solver stack; asserts exactly-one-terminal-state, nothing
+# uncertified served, and no goroutine leaks.
+chaos:
+	$(GO) test -run TestChaos -count=1 -v ./internal/server/chaos/
 
 # Differential certification: run all six algorithm variants (GFM/RFM/FLOW and
 # their FM-refined "+" forms) on the generated ISCAS-85 suite and re-verify

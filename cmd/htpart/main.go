@@ -279,14 +279,9 @@ func main() {
 		d.Algorithm = *algo
 		d.Seed = *seed
 		d.Stop = string(res.Stop)
-		f, serr := os.Create(*save)
-		if serr == nil {
-			serr = d.WriteJSON(f)
-			if cerr := f.Close(); serr == nil {
-				serr = cerr
-			}
-		}
-		if serr != nil {
+		// Atomic temp+rename write: an interrupt mid-save can never leave a
+		// truncated dump where a complete one is expected.
+		if serr := d.WriteFile(*save); serr != nil {
 			fmt.Fprintln(os.Stderr, "htpart: save:", serr)
 		}
 	}

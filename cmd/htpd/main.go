@@ -1,0 +1,133 @@
+// Command htpd serves hierarchical tree partitioning as a hardened HTTP
+// daemon: jobs are submitted as JSON documents carrying an inline netlist,
+// solved by the anytime FLOW/GFM stack under a per-job deadline budget with
+// graceful degradation, independently re-certified before anything is
+// served, and journaled for crash recovery.
+//
+// Usage:
+//
+//	htpd -addr :8080 -workers 4 -queue 64 -journal jobs.jsonl -results out/
+//
+// API:
+//
+//	POST /jobs               submit  {"netlist": "...", "height": 4, ...}
+//	GET  /jobs               list all jobs
+//	GET  /jobs/{id}          status (state, stage, stop reason, counters)
+//	GET  /jobs/{id}/result   the certified partition dump
+//	POST /jobs/{id}/cancel   cancel; a running job keeps its best-so-far
+//	GET  /jobs/{id}/events   SSE stream of solver telemetry
+//	GET  /healthz            liveness + queue depth
+//	GET  /debug/vars         expvar counters (htpd.* and htp.*)
+//
+// Overloaded submits get 429 with a Retry-After hint; instances over the
+// node budget get 413. On SIGINT/SIGTERM the daemon stops admitting,
+// cancels running jobs (they finish with certified best-so-far results or
+// return to the journal as queued), and exits once the pool drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "solver worker pool size")
+		queue    = flag.Int("queue", 16, "max queued jobs before submits get 429")
+		maxNodes = flag.Int("max-nodes", 1<<20, "per-job node-count budget (413 above it)")
+		budget   = flag.Duration("budget", 30*time.Second, "default per-job deadline budget")
+		maxBud   = flag.Duration("max-budget", 5*time.Minute, "ceiling on client-requested budgets")
+		attempts = flag.Int("attempts", 3, "max solver attempts per degradation rung")
+		backoff  = flag.Duration("backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt)")
+		journal  = flag.String("journal", "", "append-only JSONL job journal (enables restart recovery)")
+		results  = flag.String("results", "", "directory for atomically persisted result dumps")
+		logLevel = flag.String("log-level", "info", "slog level: debug, info, warn, error")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, server.Config{
+		Workers:       *workers,
+		MaxQueue:      *queue,
+		MaxNodes:      *maxNodes,
+		DefaultBudget: *budget,
+		MaxBudget:     *maxBud,
+		MaxAttempts:   *attempts,
+		BaseBackoff:   *backoff,
+		JournalPath:   *journal,
+		ResultDir:     *results,
+		Logger:        newLogger(*logLevel),
+	}, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "htpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func newLogger(level string) *slog.Logger {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		l = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l}))
+}
+
+func run(addr string, cfg server.Config, drain time.Duration) error {
+	if cfg.ResultDir != "" {
+		if err := os.MkdirAll(cfg.ResultDir, 0o755); err != nil {
+			return fmt.Errorf("creating result dir: %w", err)
+		}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.Start()
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("http server panicked: %v", r)
+			}
+		}()
+		errc <- httpSrv.ListenAndServe()
+	}()
+	cfg.Logger.Info("htpd listening", "addr", addr,
+		"workers", cfg.Workers, "queue", cfg.MaxQueue, "journal", cfg.JournalPath)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// Listener died on its own; still drain the pool before exiting.
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if serr := s.Shutdown(ctx); serr != nil {
+			return errors.Join(err, serr)
+		}
+		return err
+	case <-sigCtx.Done():
+	}
+
+	cfg.Logger.Info("htpd shutting down", "drain", drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	herr := httpSrv.Shutdown(ctx)
+	serr := s.Shutdown(ctx)
+	if herr != nil || serr != nil {
+		return errors.Join(herr, serr)
+	}
+	cfg.Logger.Info("htpd stopped")
+	return nil
+}

@@ -1,0 +1,96 @@
+package hierarchy
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// FuzzPartitionDumpDecode hardens the PartitionDump JSON decoder the same
+// way the hMETIS reader was hardened: arbitrary bytes must either be
+// rejected with an error or decode into a dump that (a) re-encodes and
+// re-decodes to the same document, and (b) reconstructs against a netlist
+// without panicking, however inconsistent its tree, levels, or assignments
+// are. htpd accepts dumps over the network and htpcheck reads them from
+// disk, so this decoder is a trust boundary.
+func FuzzPartitionDumpDecode(f *testing.F) {
+	_, d := dumpFixtureF(f)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"cost": 1e999}`))
+	f.Add([]byte(`{"cost": 0, "spec": {"Capacity": [1], "Weight": [1], "Branch": [2]}, "parent": [-1], "level": [0], "leafOf": [0]}`))
+	f.Add([]byte(`{"cost": 0, "parent": [-1, 0, 0], "level": [9, 8, 8]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDump(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round trip: a dump the decoder accepted must survive its own
+		// encoding and decode back to an equally-accepted document.
+		var out bytes.Buffer
+		if err := d.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted dump fails to encode: %v", err)
+		}
+		d2, err := ReadDump(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded dump rejected: %v", err)
+		}
+		if d2.Cost != d.Cost || len(d2.Parent) != len(d.Parent) || len(d2.LeafOf) != len(d.LeafOf) {
+			t.Fatalf("round trip changed the document: %+v vs %+v", d, d2)
+		}
+		// Reconstruction must never panic, whatever the tree shape or
+		// assignments claim. Only attempt it for small node counts: the
+		// netlist is built to match the dump's declared size.
+		if len(d.LeafOf) > 1024 || len(d.Parent) > 4096 {
+			return
+		}
+		n := len(d.LeafOf)
+		if n == 0 {
+			n = 1
+		}
+		b := hypergraph.NewBuilder()
+		b.AddUnitNodes(n)
+		b.AddNet("", 1, 0)
+		h, err := b.Build()
+		if err != nil {
+			t.Skip("fixture netlist rejected")
+		}
+		p, err := d.Partition(h)
+		if err != nil {
+			return
+		}
+		// A reconstructed partition may be semantically invalid (that is
+		// the verifier's job) but Validate must not panic on it.
+		_ = p.Validate()
+	})
+}
+
+// dumpFixtureF is dumpFixture for fuzz seeds (testing.F lacks the *T helper
+// interface the test fixture takes).
+func dumpFixtureF(f *testing.F) (*Partition, *PartitionDump) {
+	f.Helper()
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(4)
+	b.AddNet("", 1, 0, 1)
+	b.AddNet("", 2, 1, 2)
+	b.AddNet("", 1, 2, 3)
+	h := b.MustBuild()
+	spec := Spec{Capacity: []int64{2, 4}, Weight: []float64{1, 2}, Branch: []int{2, 2}}
+	tree := NewTree(2)
+	mid := tree.AddChild(tree.Root())
+	l0 := tree.AddChild(mid)
+	l1 := tree.AddChild(mid)
+	p := NewPartition(h, spec, tree)
+	p.Assign(0, l0)
+	p.Assign(1, l0)
+	p.Assign(2, l1)
+	p.Assign(3, l1)
+	d := DumpPartition(p, p.Cost())
+	d.Netlist = "fixture"
+	return p, d
+}

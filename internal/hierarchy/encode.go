@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"os"
+	"path/filepath"
 
 	"repro/internal/hypergraph"
 )
@@ -110,7 +113,70 @@ func (d *PartitionDump) WriteJSON(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// ReadDump parses a PartitionDump from JSON.
+// WriteFile writes the dump to path atomically: the JSON is written to a
+// temporary file in the same directory and renamed over path only after the
+// write (and an fsync) fully succeeded. A writer killed midway — process
+// crash, disk full, SIGKILL between write and close — can therefore never
+// leave a truncated or half-written dump at path: readers see either the
+// previous content or the complete new one. All dump writers (htpart -save,
+// the htpd result store) go through here.
+func (d *PartitionDump) WriteFile(path string) error {
+	return atomicWriteFile(path, d.WriteJSON)
+}
+
+// atomicWriteFile writes via write() into a temp file next to path and
+// renames it into place on success. On any failure the temp file is removed
+// and path is left untouched.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("hierarchy: dump write: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("hierarchy: dump write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("hierarchy: dump sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return fmt.Errorf("hierarchy: dump close: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("hierarchy: dump rename: %w", err)
+	}
+	return nil
+}
+
+// Decoder hardening bounds. A dump is a trust boundary — htpd accepts them
+// over the network and htpcheck reads them from disk — so adversarial
+// documents must fail fast instead of driving the decoder or the verifier
+// into pathological work. Tree vertices are bounded by roughly twice the
+// node bound (every internal vertex has at least one descendant leaf chain),
+// and no real hierarchy is anywhere near MaxDumpHeight levels deep; beyond
+// it the per-level verifier loops become a denial of service.
+const (
+	MaxDumpVertices = 2 * hypergraph.MaxDeclaredCount
+	MaxDumpHeight   = 4096
+)
+
+// ReadDump parses and structurally validates a PartitionDump from JSON.
+// Semantic validity (coverage, capacities, branching, the claimed cost) is
+// still the verifier's job; this layer only guarantees the document cannot
+// panic or overwhelm downstream code: slice lengths are bounded, the root
+// level fits the spec height (so per-level loops are bounded), and every
+// float is finite.
 func ReadDump(r io.Reader) (*PartitionDump, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -118,5 +184,38 @@ func ReadDump(r io.Reader) (*PartitionDump, error) {
 	if err := dec.Decode(&d); err != nil {
 		return nil, fmt.Errorf("hierarchy: decoding dump: %w", err)
 	}
+	if err := d.validate(); err != nil {
+		return nil, fmt.Errorf("hierarchy: decoding dump: %w", err)
+	}
 	return &d, nil
+}
+
+// validate applies the structural hardening checks to a decoded dump.
+func (d *PartitionDump) validate() error {
+	if math.IsNaN(d.Cost) || math.IsInf(d.Cost, 0) {
+		return fmt.Errorf("non-finite cost %g", d.Cost)
+	}
+	if len(d.Parent) > MaxDumpVertices {
+		return fmt.Errorf("%d tree vertices exceeds bound %d", len(d.Parent), MaxDumpVertices)
+	}
+	if len(d.LeafOf) > hypergraph.MaxDeclaredCount {
+		return fmt.Errorf("%d node assignments exceeds bound %d", len(d.LeafOf), hypergraph.MaxDeclaredCount)
+	}
+	L := len(d.Spec.Capacity)
+	if L > MaxDumpHeight {
+		return fmt.Errorf("spec height %d exceeds bound %d", L, MaxDumpHeight)
+	}
+	if len(d.Spec.Weight) != L || len(d.Spec.Branch) != L {
+		return fmt.Errorf("spec slice lengths differ: cap=%d weight=%d branch=%d",
+			L, len(d.Spec.Weight), len(d.Spec.Branch))
+	}
+	for l, w := range d.Spec.Weight {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("non-finite weight w_%d = %g", l, w)
+		}
+	}
+	if len(d.Parent) > 0 && len(d.Level) > 0 && int(d.Level[0]) > L {
+		return fmt.Errorf("root level %d exceeds spec height %d", d.Level[0], L)
+	}
+	return nil
 }

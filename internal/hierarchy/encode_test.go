@@ -2,6 +2,10 @@ package hierarchy
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/hypergraph"
@@ -100,5 +104,130 @@ func TestDumpDecodeRejectsCorruptTrees(t *testing.T) {
 func TestReadDumpRejectsUnknownFields(t *testing.T) {
 	if _, err := ReadDump(bytes.NewReader([]byte(`{"cost": 1, "bogus": true}`))); err == nil {
 		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	_, d := dumpFixture(t)
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != d.Cost || len(got.Parent) != len(d.Parent) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestWriteFileKilledMidway pins the atomicity contract: a dump write that
+// dies partway through — simulated both as an error mid-encode and as a
+// hard kill that leaves a partial temp file behind — must never disturb the
+// dump already at the target path.
+func TestWriteFileKilledMidway(t *testing.T) {
+	_, d := dumpFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer killed mid-write: the write callback emits half the JSON and
+	// then dies. The target must keep the previous complete dump and the
+	// temp file must not linger.
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	killed := errors.New("killed midway")
+	err := atomicWriteFile(path, func(w io.Writer) error {
+		if _, werr := w.Write(half); werr != nil {
+			return werr
+		}
+		return killed
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("want killed error, got %v", err)
+	}
+	assertDumpIntact(t, path, d)
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(tmps) != 0 {
+		t.Fatalf("temp litter after failed write: %v", tmps)
+	}
+
+	// A hard kill (SIGKILL between write and rename) leaves a stray partial
+	// temp file that no cleanup ran for. Readers of the target path are
+	// still unaffected, and a later successful write replaces the dump.
+	stray := filepath.Join(dir, "dump.json.tmp-stray")
+	if werr := os.WriteFile(stray, half, 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	assertDumpIntact(t, path, d)
+	d2 := *d
+	d2.Seed = 99
+	if werr := d2.WriteFile(path); werr != nil {
+		t.Fatal(werr)
+	}
+	assertDumpIntact(t, path, &d2)
+}
+
+func assertDumpIntact(t *testing.T, path string, want *PartitionDump) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadDump(f)
+	if err != nil {
+		t.Fatalf("dump at %s corrupted: %v", path, err)
+	}
+	if got.Seed != want.Seed || got.Cost != want.Cost {
+		t.Fatalf("dump at %s: got seed %d cost %g, want seed %d cost %g",
+			path, got.Seed, got.Cost, want.Seed, want.Cost)
+	}
+}
+
+func TestReadDumpHardeningBounds(t *testing.T) {
+	_, good := dumpFixture(t)
+	reject := map[string]func(d *PartitionDump){
+		"huge spec height": func(d *PartitionDump) {
+			n := MaxDumpHeight + 1
+			d.Spec.Capacity = make([]int64, n)
+			d.Spec.Weight = make([]float64, n)
+			d.Spec.Branch = make([]int, n)
+		},
+		"spec length mismatch": func(d *PartitionDump) { d.Spec.Weight = d.Spec.Weight[:1] },
+		"root above spec":      func(d *PartitionDump) { d.Level[0] = 3 },
+	}
+	for name, mutate := range reject {
+		var buf bytes.Buffer
+		d := *good
+		d.Spec = good.Spec.Clone()
+		d.Level = append([]int32(nil), good.Level...)
+		mutate(&d)
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadDump(&buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Non-finite floats cannot survive encoding at all; feed raw JSON that
+	// claims them via overflowing literals instead.
+	for _, raw := range []string{
+		`{"cost": 1e999}`,
+		`{"cost": 1, "spec": {"Capacity": [2], "Weight": [1e999], "Branch": [2]}}`,
+	} {
+		if _, err := ReadDump(bytes.NewReader([]byte(raw))); err == nil {
+			t.Errorf("accepted %s", raw)
+		}
 	}
 }

@@ -8,17 +8,26 @@ import (
 // NakedGoroutine enforces the PR-1 panic-containment policy: a panic on a
 // spawned goroutine crashes the whole process, so every `go` statement must
 // recover — either directly (a top-level `defer func() { recover() }()` in
-// the goroutine body) or through a function it calls that does (the
-// parallel FLOW iterations route through runIter, whose first statement is
-// the recovery defer). The two vetted exceptions — the metric engine's
-// batched worker pool, whose workers run pure array code and re-create no
-// panic surface, and the telemetry funnel's forwarder — carry
-// //htpvet:allow annotations at the `go` statement.
+// the goroutine body) or through a function reached within two calls that
+// does. One call deep covers the parallel FLOW iterations (runIter's first
+// statement is the recovery defer); two deep covers the daemon's worker
+// pool, where the goroutine body is bookkeeping (`defer wg.Done();
+// s.worker()`), the worker is a dispatch loop, and the recovery defer lives
+// in the per-job runner it calls. Deeper chains are flagged: past two hops a
+// reviewer can no longer see the containment from the spawn site. The two
+// vetted exceptions — the metric engine's batched worker pool, whose workers
+// run pure array code and re-create no panic surface, and the telemetry
+// funnel's forwarder — carry //htpvet:allow annotations at the `go`
+// statement.
 var NakedGoroutine = &Analyzer{
 	Name: "nakedgoroutine",
-	Doc:  "go statements must recover panics directly or via a called function with a top-level recovery defer",
+	Doc:  "go statements must recover panics directly or via a function reached within two calls that installs a top-level recovery defer",
 	Run:  runNakedGoroutine,
 }
+
+// maxRecoverDepth is how many call edges the search follows from the
+// goroutine body looking for a function whose top-level defer recovers.
+const maxRecoverDepth = 2
 
 func runNakedGoroutine(pass *Pass) {
 	// Map package functions and local closures to their bodies so the
@@ -71,18 +80,31 @@ func runNakedGoroutine(pass *Pass) {
 }
 
 // goroutineRecovers reports whether the spawned call is protected: its body
-// has a top-level recovery defer, or some call in its body (one level deep)
-// reaches a function whose body starts with one.
+// has a top-level recovery defer, or the call graph reaches one within
+// maxRecoverDepth edges.
 func goroutineRecovers(info *types.Info, decls map[types.Object]*ast.BlockStmt, call *ast.CallExpr) bool {
 	body := calleeBody(info, decls, call)
 	if body == nil {
 		return false
 	}
+	return bodyRecovers(info, decls, body, maxRecoverDepth, map[*ast.BlockStmt]bool{})
+}
+
+// bodyRecovers reports whether body installs a top-level recovery defer, or
+// — with depth edges still available — some function it calls does. The seen
+// set makes mutual recursion terminate (a cycle revisiting a body cannot add
+// protection it didn't have the first time).
+func bodyRecovers(info *types.Info, decls map[types.Object]*ast.BlockStmt, body *ast.BlockStmt, depth int, seen map[*ast.BlockStmt]bool) bool {
+	if body == nil || seen[body] {
+		return false
+	}
+	seen[body] = true
 	if deferRecovers(info, decls, body) {
 		return true
 	}
-	// One level of indirection: the goroutine body delegates to a function
-	// that installs the recovery defer itself.
+	if depth == 0 {
+		return false
+	}
 	protected := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if protected {
@@ -92,7 +114,7 @@ func goroutineRecovers(info *types.Info, decls map[types.Object]*ast.BlockStmt, 
 		if !ok {
 			return true
 		}
-		if b := calleeBody(info, decls, inner); b != nil && deferRecovers(info, decls, b) {
+		if b := calleeBody(info, decls, inner); b != nil && bodyRecovers(info, decls, b, depth-1, seen) {
 			protected = true
 			return false
 		}

@@ -1,5 +1,5 @@
 // Fixture for the nakedgoroutine analyzer: every go statement must recover
-// panics, directly or through a function it calls (one level deep).
+// panics, directly or through a function reached within two call edges.
 package fixture
 
 import "sync"
@@ -46,5 +46,55 @@ func viaClosure() {
 func nakedNamed() {
 	go work() // want `does not recover panics`
 }
+
+// The daemon's worker-pool shape: the goroutine body is pure bookkeeping,
+// the worker is a dispatch loop, and the recovery defer sits in the per-job
+// runner two calls from the spawn.
+func workerPool() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		workerLoop()
+	}()
+	wg.Wait()
+}
+
+func workerLoop() {
+	for i := 0; i < 3; i++ {
+		runProtected(i)
+	}
+}
+
+func runProtected(i int) {
+	defer func() { _ = recover() }()
+	_ = i
+	work()
+}
+
+// Three call edges before the recovery defer is past the bound: from the
+// spawn site a reviewer can no longer see the containment.
+func tooDeep() {
+	go func() { // want `does not recover panics`
+		hop1()
+	}()
+}
+
+func hop1() { hop2() }
+func hop2() { hop3() }
+func hop3() {
+	defer func() { _ = recover() }()
+	work()
+}
+
+// Mutual recursion with no recovery anywhere must terminate and be flagged.
+func cyclic() {
+	go func() { // want `does not recover panics`
+		ping()
+	}()
+}
+
+func ping() { pong() }
+func pong() { ping() }
 
 func work() {}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/anytime"
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// JobState is the lifecycle state of a partitioning job. The machine is
+//
+//	queued -> running -> {done | failed | cancelled}
+//
+// with two extra transitions for crash/shutdown safety: a queued job may be
+// cancelled directly, and a running job interrupted by daemon shutdown
+// returns to queued (journaled, so a restart re-runs it). done, failed and
+// cancelled are terminal; a job reaches exactly one of them exactly once —
+// setState refuses terminal-to-anything transitions and counts attempts to
+// make one as invariant violations.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether s is a terminal state.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the submit-request document: the netlist travels inline in the
+// extended hMETIS text format, the hierarchy parameters mirror htpart's
+// flags, and the budget is the job's wall-clock deadline. The spec is also
+// what the journal persists, so a recovered job re-runs from exactly what
+// was submitted.
+type JobSpec struct {
+	// Netlist is the instance in the extended hMETIS format.
+	Netlist string `json:"netlist"`
+	// Height, WBase, Slack parameterize the binary-tree spec (htpart's
+	// -height/-wbase/-slack). Defaults: 4, 2, 1.1.
+	Height int     `json:"height,omitempty"`
+	WBase  float64 `json:"wbase,omitempty"`
+	Slack  float64 `json:"slack,omitempty"`
+	// Seed makes the job's computation reproducible. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Iters is FLOW's iteration count N on the first ladder rung.
+	// Default 2 (a service trades iterations for latency; the deadline
+	// budget, not N, bounds the run).
+	Iters int `json:"iters,omitempty"`
+	// BudgetMS is the job's deadline budget in milliseconds; the
+	// degradation ladder divides it across its rungs. 0 means the server
+	// default; values above the server maximum are clamped.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Label is a free-form client tag echoed in status and list output.
+	Label string `json:"label,omitempty"`
+}
+
+// withDefaults fills the zero-valued tunables.
+func (sp JobSpec) withDefaults() JobSpec {
+	if sp.Height == 0 {
+		sp.Height = 4
+	}
+	if sp.WBase == 0 {
+		sp.WBase = 2
+	}
+	if sp.Slack == 0 {
+		sp.Slack = 1.1
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Iters == 0 {
+		sp.Iters = 2
+	}
+	return sp
+}
+
+// Job is one partitioning job owned by the server. All mutable fields are
+// guarded by mu; the parsed netlist and problem spec are set at admission
+// and immutable afterwards.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	// Immutable after admission.
+	h     *hypergraph.Hypergraph
+	pspec hierarchy.Spec
+	hub   *eventHub
+
+	mu         sync.Mutex
+	state      JobState
+	stage      string // ladder rung that served the result ("flow", "gfm", "salvage")
+	stop       anytime.Stop
+	cost       float64
+	attempts   int
+	degraded   int // rungs fallen through before the serving one
+	retried    int
+	errMsg     string
+	salvaged   bool
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	cancelFn   context.CancelFunc // cancels the running solve; nil unless running
+	cancelAsk  bool               // a client asked for cancellation
+	result     *hierarchy.PartitionDump
+	terminally int // terminal transitions attempted; must end at exactly 1
+}
+
+// StatusView is the status document served by GET /jobs/{id} and the list
+// entries of GET /jobs.
+type StatusView struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Label string   `json:"label,omitempty"`
+	// Stage is the degradation-ladder rung that produced the served result.
+	Stage string `json:"stage,omitempty"`
+	// Stop is the anytime stop reason of the serving solver run.
+	Stop string `json:"stop,omitempty"`
+	// Cost is the certified cost of the served result.
+	Cost float64 `json:"cost,omitempty"`
+	// Attempts counts solver attempts across all rungs; Degradations the
+	// rungs that failed over; Retries the backoff retries taken.
+	Attempts     int `json:"attempts,omitempty"`
+	Degradations int `json:"degradations,omitempty"`
+	Retries      int `json:"retries,omitempty"`
+	// Salvaged marks results produced by the final metric-salvage rung.
+	Salvaged bool   `json:"salvaged,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Verified is true on every served result: nothing reaches the result
+	// endpoint without re-certification by internal/verify.
+	Verified    bool       `json:"verified"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// status snapshots the job under its lock.
+func (j *Job) status() StatusView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := StatusView{
+		ID:           j.ID,
+		State:        j.state,
+		Label:        j.Spec.Label,
+		Stage:        j.stage,
+		Stop:         string(j.stop),
+		Cost:         j.cost,
+		Attempts:     j.attempts,
+		Degradations: j.degraded,
+		Retries:      j.retried,
+		Salvaged:     j.salvaged,
+		Error:        j.errMsg,
+		Verified:     j.result != nil,
+		SubmittedAt:  j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// snapshotResult returns the certified result dump, or nil.
+func (j *Job) snapshotResult() *hierarchy.PartitionDump {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}

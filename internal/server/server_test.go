@@ -1,0 +1,805 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/anytime"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/hypergraph"
+	"repro/internal/obs"
+)
+
+// ringNetlist renders an n-node ring (each node tied to its successor) in
+// the extended hMETIS text format — the smallest connected instance family
+// that exercises every solver rung.
+func ringNetlist(tb testing.TB, n int) string {
+	tb.Helper()
+	var b hypergraph.Builder
+	b.AddUnitNodes(n)
+	for i := 0; i < n; i++ {
+		b.AddNet("", 1, hypergraph.NodeID(i), hypergraph.NodeID((i+1)%n))
+	}
+	h, err := b.Build()
+	if err != nil {
+		tb.Fatalf("building ring: %v", err)
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		tb.Fatalf("rendering ring: %v", err)
+	}
+	return sb.String()
+}
+
+// newTestServer builds, starts, and registers cleanup for a Server plus an
+// httptest front end.
+func newTestServer(tb testing.TB, cfg Config) (*Server, *httptest.Server) {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			tb.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// submitJob posts spec and returns the response. Callers check the code.
+func submitJob(tb testing.TB, ts *httptest.Server, spec JobSpec) *http.Response {
+	tb.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		tb.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatalf("POST /jobs: %v", err)
+	}
+	return resp
+}
+
+// submitOK posts spec expecting 202 and returns the job ID.
+func submitOK(tb testing.TB, ts *httptest.Server, spec JobSpec) string {
+	tb.Helper()
+	resp := submitJob(tb, ts, spec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("submit: got %d, want 202 (%s)", resp.StatusCode, b)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		tb.Fatalf("decoding submit response: %v", err)
+	}
+	if out.ID == "" {
+		tb.Fatal("submit returned empty id")
+	}
+	return out.ID
+}
+
+// getStatus fetches /jobs/{id}.
+func getStatus(tb testing.TB, ts *httptest.Server, id string) StatusView {
+	tb.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		tb.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("GET status: code %d", resp.StatusCode)
+	}
+	var v StatusView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		tb.Fatalf("decoding status: %v", err)
+	}
+	return v
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(tb testing.TB, ts *httptest.Server, id string, within time.Duration) StatusView {
+	tb.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		v := getStatus(tb, ts, id)
+		if v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("job %s stuck in state %q after %v", id, v.State, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubmitRunResult(t *testing.T) {
+	before := cSubmitted.Value()
+	s, ts := newTestServer(t, Config{Workers: 2, DefaultBudget: 20 * time.Second})
+	spec := JobSpec{Netlist: ringNetlist(t, 32), Height: 3, Seed: 7, Label: "ring32"}
+	id := submitOK(t, ts, spec)
+
+	v := waitTerminal(t, ts, id, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state = %q (error %q), want done", v.State, v.Error)
+	}
+	if !v.Verified {
+		t.Fatal("served result not marked verified")
+	}
+	if v.Stage == "" || v.Stop == "" {
+		t.Fatalf("terminal status missing stage/stop: %+v", v)
+	}
+	if v.Label != "ring32" {
+		t.Fatalf("label = %q", v.Label)
+	}
+	if cSubmitted.Value() <= before {
+		t.Fatal("jobs_submitted counter did not advance")
+	}
+
+	// The served result decodes, reconstructs over the submitted netlist,
+	// and revalidates — the client-side mirror of the server's own
+	// certification gate.
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: code %d", resp.StatusCode)
+	}
+	dump, err := hierarchy.ReadDump(resp.Body)
+	if err != nil {
+		t.Fatalf("decoding result dump: %v", err)
+	}
+	h, err := hypergraph.ReadFrom(strings.NewReader(spec.Netlist))
+	if err != nil {
+		t.Fatalf("re-parsing netlist: %v", err)
+	}
+	p, err := dump.Partition(h)
+	if err != nil {
+		t.Fatalf("reconstructing partition: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("served partition invalid: %v", err)
+	}
+	if got := p.Cost(); got != dump.Cost {
+		t.Fatalf("recomputed cost %g != served cost %g", got, dump.Cost)
+	}
+
+	// Exactly one terminal transition.
+	if n := terminalCount(s, id); n != 1 {
+		t.Fatalf("job saw %d terminal transitions, want 1", n)
+	}
+
+	// The job shows up in the listing.
+	lresp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	defer lresp.Body.Close()
+	var list struct {
+		Jobs []StatusView `json:"jobs"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id {
+		t.Fatalf("list = %+v, want the one job", list.Jobs)
+	}
+}
+
+func terminalCount(s *Server, id string) int {
+	j := s.lookup(id)
+	if j == nil {
+		return -1
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.terminally
+}
+
+// blockingSolvers returns a Solvers whose FLOW rung parks until release is
+// closed (or the rung deadline fires), then defers to the real solver.
+func blockingSolvers(release <-chan struct{}) *Solvers {
+	real := RealSolvers()
+	return &Solvers{
+		Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return real.Flow(ctx, h, spec, opt)
+		},
+		GFM:     real.GFM,
+		Salvage: real.Salvage,
+	}
+}
+
+func TestOverloadRejectsWithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	rejBefore := cRejections.Value()
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		MaxQueue:      1,
+		DefaultBudget: 20 * time.Second,
+		Solvers:       blockingSolvers(release),
+	})
+	net := ringNetlist(t, 8)
+
+	// First job occupies the worker; wait until it leaves the queue.
+	id1 := submitOK(t, ts, JobSpec{Netlist: net, Height: 2})
+	waitRunning(t, ts, id1, 5*time.Second)
+	// Second fills the queue.
+	id2 := submitOK(t, ts, JobSpec{Netlist: net, Height: 2})
+
+	// Third must bounce with 429 and a Retry-After hint.
+	resp := submitJob(t, ts, JobSpec{Netlist: net, Height: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: code %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if cRejections.Value() <= rejBefore {
+		t.Fatal("rejections counter did not advance")
+	}
+
+	close(release)
+	for _, id := range []string{id1, id2} {
+		if v := waitTerminal(t, ts, id, 30*time.Second); v.State != StateDone {
+			t.Fatalf("job %s: state %q (error %q)", id, v.State, v.Error)
+		}
+	}
+}
+
+func waitRunning(tb testing.TB, ts *httptest.Server, id string, within time.Duration) {
+	tb.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		v := getStatus(tb, ts, id)
+		if v.State == StateRunning {
+			return
+		}
+		if v.State.Terminal() {
+			tb.Fatalf("job %s terminal (%s) before running", id, v.State)
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("job %s never started running", id)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestOversizedInstanceRejected(t *testing.T) {
+	before := cOversized.Value()
+	_, ts := newTestServer(t, Config{Workers: 1, MaxNodes: 8})
+	resp := submitJob(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: code %d, want 413", resp.StatusCode)
+	}
+	if cOversized.Value() <= before {
+		t.Fatal("oversized counter did not advance")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: code %d, want 400", resp.StatusCode)
+	}
+
+	for name, spec := range map[string]JobSpec{
+		"empty netlist":   {Netlist: "   "},
+		"bad netlist":     {Netlist: "this is not hmetis"},
+		"negative height": {Netlist: ringNetlist(t, 8), Height: -3},
+	} {
+		resp := submitJob(t, ts, spec)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	for _, path := range []string{"/jobs/j-999999", "/jobs/j-999999/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: code %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDegradationFallsToGFM(t *testing.T) {
+	degBefore := cDegradations.Value()
+	real := RealSolvers()
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		MaxAttempts:   2,
+		BaseBackoff:   time.Millisecond,
+		DefaultBudget: 20 * time.Second,
+		Solvers: &Solvers{
+			Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
+				return nil, errors.New("synthetic transient failure")
+			},
+			GFM:     real.GFM,
+			Salvage: real.Salvage,
+		},
+	})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	v := waitTerminal(t, ts, id, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state %q (error %q), want done", v.State, v.Error)
+	}
+	if v.Stage != "gfm" {
+		t.Fatalf("stage = %q, want gfm", v.Stage)
+	}
+	if v.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", v.Degradations)
+	}
+	if v.Retries < 1 {
+		t.Fatalf("retries = %d, want >= 1 (flow should have retried before degrading)", v.Retries)
+	}
+	if cDegradations.Value() <= degBefore {
+		t.Fatal("degradations counter did not advance")
+	}
+}
+
+func TestPermanentErrorFailsFast(t *testing.T) {
+	real := RealSolvers()
+	gfmCalled := make(chan struct{}, 1)
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		MaxAttempts:   5,
+		DefaultBudget: 20 * time.Second,
+		Solvers: &Solvers{
+			Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
+				return nil, fmt.Errorf("rung: %w", anytime.ErrOversizedNode)
+			},
+			GFM: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error) {
+				select {
+				case gfmCalled <- struct{}{}:
+				default:
+				}
+				return real.GFM(ctx, h, spec, opt)
+			},
+			Salvage: real.Salvage,
+		},
+	})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	v := waitTerminal(t, ts, id, 30*time.Second)
+	if v.State != StateFailed {
+		t.Fatalf("state %q, want failed", v.State)
+	}
+	if v.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (permanent errors must not retry)", v.Attempts)
+	}
+	if !strings.Contains(v.Error, anytime.ErrOversizedNode.Error()) {
+		t.Fatalf("error %q does not surface the permanent cause", v.Error)
+	}
+	select {
+	case <-gfmCalled:
+		t.Fatal("ladder degraded past a permanent error")
+	default:
+	}
+
+	// The failed job has no result to serve.
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("result of failed job: code %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPanickingSolversAreContained(t *testing.T) {
+	retryBefore := cRetries.Value()
+	real := RealSolvers()
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		MaxAttempts:   2,
+		BaseBackoff:   time.Millisecond,
+		DefaultBudget: 20 * time.Second,
+		Solvers: &Solvers{
+			Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
+				panic("injected flow panic")
+			},
+			GFM: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error) {
+				panic("injected gfm panic")
+			},
+			Salvage: real.Salvage,
+		},
+	})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	v := waitTerminal(t, ts, id, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state %q (error %q), want done via salvage", v.State, v.Error)
+	}
+	if v.Stage != "salvage" || !v.Salvaged {
+		t.Fatalf("stage=%q salvaged=%v, want salvage rung", v.Stage, v.Salvaged)
+	}
+	if cRetries.Value() <= retryBefore {
+		t.Fatal("panicking attempts should count as retries")
+	}
+
+	// The worker survived the panics: the next job completes too.
+	id2 := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 8), Height: 2})
+	if v2 := waitTerminal(t, ts, id2, 30*time.Second); v2.State != StateDone {
+		t.Fatalf("post-panic job: state %q", v2.State)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	real := RealSolvers()
+	_, ts := newTestServer(t, Config{
+		Workers:       1,
+		DefaultBudget: 20 * time.Second,
+		Solvers: &Solvers{
+			Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+			GFM: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+			Salvage: real.Salvage,
+		},
+	})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	waitRunning(t, ts, id, 5*time.Second)
+
+	resp, err := http.Post(ts.URL+"/jobs/"+id+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: code %d", resp.StatusCode)
+	}
+	v := waitTerminal(t, ts, id, 10*time.Second)
+	if v.State != StateCancelled {
+		t.Fatalf("state %q, want cancelled", v.State)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:       1,
+		MaxQueue:      4,
+		DefaultBudget: 20 * time.Second,
+		Solvers:       blockingSolvers(release),
+	})
+	net := ringNetlist(t, 8)
+	id1 := submitOK(t, ts, JobSpec{Netlist: net, Height: 2})
+	waitRunning(t, ts, id1, 5*time.Second)
+	id2 := submitOK(t, ts, JobSpec{Netlist: net, Height: 2})
+
+	resp, err := http.Post(ts.URL+"/jobs/"+id2+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	resp.Body.Close()
+	if v := getStatus(t, ts, id2); v.State != StateCancelled {
+		t.Fatalf("queued job after cancel: state %q, want cancelled immediately", v.State)
+	}
+
+	close(release)
+	if v := waitTerminal(t, ts, id1, 30*time.Second); v.State != StateDone {
+		t.Fatalf("job 1: state %q", v.State)
+	}
+	// The worker drains the cancelled job without a second terminal
+	// transition.
+	deadline := time.Now().Add(5 * time.Second)
+	for terminalCount(s, id2) != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := terminalCount(s, id2); n != 1 {
+		t.Fatalf("cancelled-while-queued job saw %d terminal transitions", n)
+	}
+}
+
+func TestEventStreamHasExactlyOneStop(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, DefaultBudget: 20 * time.Second})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	waitTerminal(t, ts, id, 30*time.Second)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	stops, events := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events++
+			if line == "event: "+string(obs.KindStop) {
+				stops++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if stops != 1 {
+		t.Fatalf("stream carried %d stop events, want exactly 1 (of %d events)", stops, events)
+	}
+	if events < 2 {
+		t.Fatalf("stream carried only %d events; expected solver telemetry too", events)
+	}
+}
+
+func TestResultPersistedAtomically(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, ResultDir: dir, DefaultBudget: 20 * time.Second})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	v := waitTerminal(t, ts, id, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state %q", v.State)
+	}
+	f, err := os.Open(filepath.Join(dir, id+".json"))
+	if err != nil {
+		t.Fatalf("opening persisted result: %v", err)
+	}
+	dump, err := hierarchy.ReadDump(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("reading persisted result: %v", err)
+	}
+	if dump.Cost != v.Cost {
+		t.Fatalf("persisted cost %g != status cost %g", dump.Cost, v.Cost)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file litter in result dir: %s", e.Name())
+		}
+	}
+}
+
+func TestShutdownRequeuesAndRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "jobs.jsonl")
+	recBefore := cRecovered.Value()
+
+	s1, err := New(Config{
+		Workers:       1,
+		MaxQueue:      4,
+		DefaultBudget: 20 * time.Second,
+		JournalPath:   journalPath,
+		Solvers: &Solvers{
+			Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+			GFM: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+			Salvage: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error) {
+				return nil, ctx.Err()
+			},
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	net := ringNetlist(t, 16)
+	id1 := submitOK(t, ts1, JobSpec{Netlist: net, Height: 2, Seed: 3})
+	waitRunning(t, ts1, id1, 5*time.Second)
+	id2 := submitOK(t, ts1, JobSpec{Netlist: net, Height: 2, Seed: 4})
+	ts1.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Restart over the same journal with real solvers: both jobs come back
+	// queued (the running one was re-queued, not terminated) and complete.
+	_, ts2 := newTestServer(t, Config{
+		Workers:       2,
+		DefaultBudget: 20 * time.Second,
+		JournalPath:   journalPath,
+	})
+	if got := cRecovered.Value() - recBefore; got != 2 {
+		t.Fatalf("recovered %d jobs, want 2", got)
+	}
+	for _, id := range []string{id1, id2} {
+		v := waitTerminal(t, ts2, id, 30*time.Second)
+		if v.State != StateDone {
+			t.Fatalf("recovered job %s: state %q (error %q)", id, v.State, v.Error)
+		}
+		if !v.Verified {
+			t.Fatalf("recovered job %s served unverified", id)
+		}
+	}
+
+	// New submissions on the restarted server do not reuse recovered IDs.
+	id3 := submitOK(t, ts2, JobSpec{Netlist: net, Height: 2})
+	if id3 == id1 || id3 == id2 {
+		t.Fatalf("restarted server reused job ID %s", id3)
+	}
+}
+
+func TestRestartResurrectsTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:       1,
+		DefaultBudget: 20 * time.Second,
+		JournalPath:   filepath.Join(dir, "jobs.jsonl"),
+		ResultDir:     dir,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	spec := JobSpec{Netlist: ringNetlist(t, 16), Height: 2, Seed: 3, Label: "keep-me"}
+	id := submitOK(t, ts1, spec)
+	before := waitTerminal(t, ts1, id, 30*time.Second)
+	if before.State != StateDone || !before.Verified {
+		t.Fatalf("setup job: state %q verified %v", before.State, before.Verified)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The restarted daemon must keep answering for the finished job: same
+	// status (read-only, not re-queued), the certified dump reloaded from
+	// ResultDir, and an SSE stream that ends immediately.
+	_, ts2 := newTestServer(t, cfg)
+	after := getStatus(t, ts2, id)
+	if after.State != StateDone || !after.Verified {
+		t.Fatalf("after restart: state %q verified %v (error %q)", after.State, after.Verified, after.Error)
+	}
+	if after.Stage != before.Stage || after.Stop != before.Stop || after.Cost != before.Cost {
+		t.Fatalf("after restart: stage/stop/cost %q/%q/%v, want %q/%q/%v",
+			after.Stage, after.Stop, after.Cost, before.Stage, before.Stop, before.Cost)
+	}
+	if after.Label != "keep-me" {
+		t.Fatalf("after restart: label %q", after.Label)
+	}
+	resp, err := http.Get(ts2.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result after restart: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result after restart: code %d", resp.StatusCode)
+	}
+	dump, err := hierarchy.ReadDump(resp.Body)
+	if err != nil {
+		t.Fatalf("decoding resurrected dump: %v", err)
+	}
+	if dump.Cost != before.Cost {
+		t.Fatalf("resurrected dump cost %v, want %v", dump.Cost, before.Cost)
+	}
+	h, err := hypergraph.ReadFrom(strings.NewReader(spec.Netlist))
+	if err != nil {
+		t.Fatalf("re-parsing netlist: %v", err)
+	}
+	p, err := dump.Partition(h)
+	if err != nil {
+		t.Fatalf("reconstructing resurrected partition: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("resurrected partition invalid: %v", err)
+	}
+	sse, err := http.Get(ts2.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events after restart: %v", err)
+	}
+	defer sse.Body.Close()
+	if _, err := io.ReadAll(sse.Body); err != nil {
+		t.Fatalf("resurrected SSE stream: %v", err)
+	}
+}
+
+// TestRestartWithMissingDump covers the degraded half of resurrection: a
+// done job whose persisted dump was lost keeps its terminal status but is
+// downgraded to unverified, and the result endpoint explains why.
+func TestRestartWithMissingDump(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:       1,
+		DefaultBudget: 20 * time.Second,
+		JournalPath:   filepath.Join(dir, "jobs.jsonl"),
+		ResultDir:     dir,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	id := submitOK(t, ts1, JobSpec{Netlist: ringNetlist(t, 16), Height: 2})
+	waitTerminal(t, ts1, id, 30*time.Second)
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, id+".json")); err != nil {
+		t.Fatalf("removing dump: %v", err)
+	}
+
+	_, ts2 := newTestServer(t, cfg)
+	v := getStatus(t, ts2, id)
+	if v.State != StateDone || v.Verified {
+		t.Fatalf("after losing dump: state %q verified %v", v.State, v.Verified)
+	}
+	if v.Error == "" {
+		t.Fatal("after losing dump: status carries no explanation")
+	}
+	resp, err := http.Get(ts2.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("result of dumpless done job: code %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: code %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/anytime"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/hypergraph"
+	"repro/internal/inject"
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+// Solvers groups the solver entry points the daemon drives — the seam the
+// chaos harness wraps. Every function follows the anytime contract: on
+// deadline or cancellation it returns the best certified-able result found
+// so far, erroring only when nothing valid exists.
+type Solvers struct {
+	Flow    func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error)
+	GFM     func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error)
+	Salvage func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error)
+}
+
+// RealSolvers returns the production entry points.
+func RealSolvers() *Solvers {
+	return &Solvers{
+		Flow:    htp.FlowCtx,
+		GFM:     htp.GFMCtx,
+		Salvage: metricSalvage,
+	}
+}
+
+// salvageGrace is the detached construction window of the final ladder
+// rung: the partial metric in hand is only useful if a build from it is
+// allowed to finish, so the build runs under its own short deadline rather
+// than the (already expiring) job budget.
+const salvageGrace = 2 * time.Second
+
+// metricSalvage is the last rung of the degradation ladder: compute a
+// spreading metric under whatever budget remains — a cancelled computation
+// still yields a usable partial metric — then carve one partition from it
+// under a small detached grace window. This is the job-level analog of the
+// solver-internal salvage path from PR 1.
+func metricSalvage(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error) {
+	m, _, merr := inject.ComputeMetricCtx(ctx, h, spec,
+		inject.Options{Rng: rand.New(rand.NewSource(seed)), Observer: obs.SuppressStop(o)})
+	if m == nil {
+		return nil, merr
+	}
+	if merr != nil && (errors.Is(merr, anytime.ErrInvalidSpec) || errors.Is(merr, anytime.ErrOversizedNode)) {
+		return nil, merr
+	}
+	bctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), salvageGrace)
+	defer cancel()
+	p, err := htp.BuildCtx(bctx, h, spec, m.D, htp.BuildOptions{Rng: rand.New(rand.NewSource(seed + 1))})
+	if err != nil {
+		return nil, err
+	}
+	stop := anytime.FromContext(ctx)
+	if stop == "" {
+		stop = anytime.StopConverged
+	}
+	cost := p.Cost()
+	obs.Emit(o, obs.Event{Kind: obs.KindSalvage, Cost: cost, Salvaged: true})
+	return &htp.Result{Partition: p, Cost: cost, Iterations: 1, Stop: stop}, nil
+}
+
+// rung is one step of the degradation ladder. frac is the cumulative share
+// of the job budget this rung may consume from the job's start: FLOW gets
+// the first 60%, GFM up to 85%, and metric salvage the remainder.
+type rung struct {
+	name string
+	frac float64
+}
+
+var ladder = []rung{
+	{name: "flow", frac: 0.60},
+	{name: "gfm", frac: 0.85},
+	{name: "salvage", frac: 1.00},
+}
+
+// solveOutcome is what the ladder hands back to the worker.
+type solveOutcome struct {
+	res      *htp.Result
+	stage    string
+	salvaged bool
+	attempts int
+	retries  int
+	degraded int
+	err      error
+}
+
+// permanentErr reports whether err can never succeed on retry: malformed
+// specs and oversized nodes fail identically every time, so the job fails
+// fast instead of burning its budget.
+func permanentErr(err error) bool {
+	return errors.Is(err, anytime.ErrInvalidSpec) || errors.Is(err, anytime.ErrOversizedNode)
+}
+
+// errCertFailed marks a result the independent verifier rejected — a solver
+// bug. It is treated as transient (the retry re-runs with a different
+// derived seed) but never served.
+var errCertFailed = errors.New("result failed independent certification")
+
+// solveJob runs the degradation ladder for j under ctx. Every rung gets a
+// slice of the deadline budget and up to MaxAttempts tries with jittered
+// exponential backoff on transient failures (contained panics, infeasible
+// runs, certification rejects). Permanent errors abort the whole ladder.
+// Whatever the rung, a result is returned only after internal/verify
+// re-certified it from scratch.
+func (s *Server) solveJob(ctx context.Context, j *Job) solveOutcome {
+	out := solveOutcome{}
+	start := time.Now()
+	budget := s.jobBudget(j)
+	// Deterministic backoff jitter: derived from the job seed, so a re-run
+	// of the same job schedules identically.
+	jitter := rand.New(rand.NewSource(j.Spec.Seed ^ 0x5eed))
+
+	var lastErr error
+	for ri, r := range ladder {
+		rungDeadline := start.Add(time.Duration(float64(budget) * r.frac))
+		rctx, cancel := context.WithDeadline(ctx, rungDeadline)
+
+		for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
+			if rctx.Err() != nil || ctx.Err() != nil {
+				break
+			}
+			out.attempts++
+			seed := attemptSeed(j.Spec.Seed, ri, attempt)
+			res, err := s.runAttempt(rctx, j, r.name, seed)
+			if err == nil {
+				if vrep := verify.Result(res); !vrep.OK() {
+					cCertFailures.Add(1)
+					err = fmt.Errorf("%w: %v", errCertFailed, vrep.Err())
+				} else {
+					out.res = res
+					out.stage = r.name
+					out.salvaged = r.name == "salvage" || resultSalvaged(res)
+					out.degraded = ri
+					cancel()
+					return out
+				}
+			}
+			lastErr = err
+			if permanentErr(err) {
+				cancel()
+				out.err = err
+				return out
+			}
+			// Transient: back off and retry while the rung still has time.
+			if attempt < s.cfg.MaxAttempts && rctx.Err() == nil {
+				out.retries++
+				cRetries.Add(1)
+				backoffSleep(rctx, s.cfg.BaseBackoff, attempt, jitter)
+			}
+		}
+		cancel()
+		if ctx.Err() != nil && !errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+			// The job itself was cancelled (client or shutdown): no point
+			// degrading further.
+			break
+		}
+		if ri < len(ladder)-1 {
+			cDegradations.Add(1)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("budget exhausted: %w", anytime.ErrNoPartition)
+	}
+	out.err = lastErr
+	return out
+}
+
+// runAttempt executes one rung attempt with panic containment: an injected
+// or genuine panic surfaces as a transient error carrying the stack, never
+// as a dead worker.
+func (s *Server) runAttempt(ctx context.Context, j *Job, rungName string, seed int64) (res *htp.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("attempt panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	// All rungs but the last suppress their terminal stop: the job emits
+	// exactly one job-level stop event when it finishes, whichever rung
+	// served (the PR-3 composition pattern for "+" pipelines).
+	o := obs.SuppressStop(j.hub)
+	switch rungName {
+	case "flow":
+		return s.solvers.Flow(ctx, j.h, j.pspec, htp.FlowOptions{
+			Iterations: j.Spec.Iters,
+			Seed:       seed,
+			Observer:   o,
+		})
+	case "gfm":
+		return s.solvers.GFM(ctx, j.h, j.pspec, htp.GFMOptions{Seed: seed, Observer: o})
+	case "salvage":
+		return s.solvers.Salvage(ctx, j.h, j.pspec, seed, o)
+	}
+	return nil, fmt.Errorf("unknown ladder rung %q", rungName)
+}
+
+// attemptSeed derives a distinct deterministic seed per (job, rung,
+// attempt), so retries explore different random schedules while the whole
+// job stays a pure function of its submitted seed.
+func attemptSeed(jobSeed int64, rungIdx, attempt int) int64 {
+	s := uint64(jobSeed)*0x9e3779b97f4a7c15 + uint64(rungIdx)*0x1000193 + uint64(attempt)
+	s ^= s >> 31
+	if s == 0 {
+		s = 1
+	}
+	return int64(s & 0x7fffffffffffffff)
+}
+
+// resultSalvaged reports whether a FLOW result was built by the in-solver
+// salvage path (stop reason deadline/cancelled with a live partition).
+func resultSalvaged(res *htp.Result) bool {
+	return res != nil && res.Partition != nil &&
+		(res.Stop == anytime.StopDeadline || res.Stop == anytime.StopCancelled)
+}
+
+// backoffSleep waits base·2^(attempt-1) plus deterministic jitter in
+// [0, base), capped at maxBackoff, returning early if ctx fires.
+const maxBackoff = 2 * time.Second
+
+func backoffSleep(ctx context.Context, base time.Duration, attempt int, jitter *rand.Rand) {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	d += time.Duration(jitter.Int63n(int64(base)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
