@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck race check bench verify verify-quick loadtest chaos
+.PHONY: build test vet lint staticcheck race check bench bench-ml smoke-ml verify verify-quick loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -65,7 +65,24 @@ verify-quick:
 # Algorithm 2 (spreading metric; sequential vs parallel workers) and the
 # paper-table benchmarks. EXPERIMENTS.md quotes these files.
 bench:
-	$(GO) test -run=NONE -bench='Alg2Scaling|Alg3Scaling' -benchmem -timeout 1800s . \
+	$(GO) test -run=NONE -bench='Alg2Scaling|Alg3Scaling|MultilevelScaling' -benchmem -timeout 3600s . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_alg2.json
 	$(GO) test -run=NONE -bench='Table1|Table2|Table3' -benchmem -timeout 1800s . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_tables.json
+
+# Multilevel V-cycle scaling sweep alone (n = 2048 .. 262144); the full
+# records land in BENCH_alg2.json via `make bench`.
+bench-ml:
+	$(GO) test -run=NONE -bench=MultilevelScaling -benchmem -timeout 3600s .
+
+# End-to-end large-instance smoke: stream-generate a 65536-gate netlist,
+# solve it with the multilevel V-cycle under a deadline, and (as htpart
+# always does) re-certify the result independently before printing it.
+# Set SMOKE_ML_LARGE=1 to also run the 262144-gate rung.
+smoke-ml:
+	$(GO) run ./cmd/gencircuit -gates 65536 -stream -o /tmp/htp-synth65536.net
+	$(GO) run ./cmd/htpart -in /tmp/htp-synth65536.net -multilevel -timeout 300s
+	@if [ -n "$$SMOKE_ML_LARGE" ]; then \
+		$(GO) run ./cmd/gencircuit -gates 262144 -stream -o /tmp/htp-synth262144.net; \
+		$(GO) run ./cmd/htpart -in /tmp/htp-synth262144.net -multilevel -timeout 900s; \
+	fi

@@ -256,3 +256,27 @@ func BenchmarkRefinement(b *testing.B) {
 		repro.Refine(p, repro.RefineOptions{})
 	}
 }
+
+// BenchmarkMultilevelScaling measures the multilevel V-cycle end-to-end
+// across the synthetic scale rungs. The claim under test (DESIGN.md §5h):
+// near-linear growth in gate count, because coarsening is O(pins) per
+// level, the coarse-level solve is constant-size, and uncoarsening only
+// touches the boundary.
+func BenchmarkMultilevelScaling(b *testing.B) {
+	for _, n := range []int{2048, 16384, 65536, 262144} {
+		cs := repro.ScaledCircuit(n)
+		h, ok := benchCircuits[cs.Name]
+		if !ok {
+			h = repro.GenerateCircuit(cs, 1)
+			benchCircuits[cs.Name] = h
+		}
+		spec := paperSpec(b, h)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.Multilevel(h, spec, repro.MultilevelOptions{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

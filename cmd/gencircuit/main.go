@@ -1,16 +1,23 @@
-// Command gencircuit emits the synthetic ISCAS85-class benchmark circuits
-// (or a clustered test graph) in the extended hMETIS netlist format.
+// Command gencircuit emits the synthetic ISCAS85-class benchmark circuits,
+// a scaled synthetic rung, or a clustered test graph in the extended hMETIS
+// netlist format.
 //
 // Usage:
 //
 //	gencircuit -name c2670 -seed 1 -o c2670.net
+//	gencircuit -gates 262144 -stream -o synth262144.net
 //	gencircuit -clusters 16 -per 64 -density 0.3 -o clustered.net
 //	gencircuit -list
+//
+// With -stream the netlist is written while it is generated — no in-memory
+// hypergraph is built, which is what lets million-gate rungs generate in a
+// modest heap. The bytes are identical to the non-streaming path.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/circuits"
@@ -20,8 +27,10 @@ import (
 func main() {
 	var (
 		name     = flag.String("name", "", "ISCAS85-class circuit name (c1355, c2670, c3540, c6288, c7552)")
+		gates    = flag.Int("gates", 0, "generate a scaled synthetic circuit with this many gates instead")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		out      = flag.String("o", "", "output file (default: stdout)")
+		stream   = flag.Bool("stream", false, "stream the netlist to the output without building it in memory")
 		list     = flag.Bool("list", false, "list available circuits and exit")
 		clusters = flag.Int("clusters", 0, "generate a clustered graph with this many clusters instead")
 		per      = flag.Int("per", 32, "nodes per cluster (with -clusters)")
@@ -37,33 +46,61 @@ func main() {
 		return
 	}
 
-	var h *hypergraph.Hypergraph
+	var spec circuits.CircuitSpec
 	switch {
 	case *clusters > 0:
-		h = circuits.Clustered(*clusters, *per, *density, *seed)
+		if *stream {
+			fatal(fmt.Errorf("-stream supports circuit specs only, not -clusters"))
+		}
+		emit(circuits.Clustered(*clusters, *per, *density, *seed), *out)
+		return
+	case *gates > 0:
+		spec = circuits.Scaled(*gates)
 	case *name != "":
-		spec, err := circuits.ByName(*name)
-		if err != nil {
+		var err error
+		if spec, err = circuits.ByName(*name); err != nil {
 			fatal(err)
 		}
-		h = circuits.Generate(spec, *seed)
 	default:
-		fatal(fmt.Errorf("need -name or -clusters (or -list)"))
+		fatal(fmt.Errorf("need -name, -gates, or -clusters (or -list)"))
 	}
 
+	if *stream {
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := circuits.Stream(spec, *seed, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed %s: %d gates\n", spec.Name, spec.Gates)
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		}
+		return
+	}
+
+	emit(circuits.Generate(spec, *seed), *out)
+}
+
+func emit(h *hypergraph.Hypergraph, out string) {
 	st := hypergraph.ComputeStats(h)
 	fmt.Fprintf(os.Stderr, "generated: %s\n", st)
-
-	if *out == "" {
+	if out == "" {
 		if err := h.Write(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := h.WriteFile(*out); err != nil {
+	if err := h.WriteFile(out); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }
 
 func fatal(err error) {

@@ -69,15 +69,22 @@ func main() {
 		report     = flag.String("report", "", "write a per-run JSON report to this file")
 		lbRounds   = flag.Int("lb", 0, "cutting-plane rounds for the LP lower bound in the report/output (0 = skip; small instances only)")
 		save       = flag.String("save", "", "write the partition dump (JSON) to this file for later htpcheck -partition verification")
+		ml         = flag.Bool("multilevel", false, "solve via the multilevel V-cycle: coarsen, run -algo on the coarsest level, uncoarsen with per-level refinement")
+		coarsenTgt = flag.Int("coarsen-target", 300, "with -multilevel: node count at which coarsening stops")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("need -in netlist"))
 	}
-	timeoutSet := false
+	timeoutSet, itersSet, perMetricSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "timeout" {
+		switch f.Name {
+		case "timeout":
 			timeoutSet = true
+		case "n":
+			itersSet = true
+		case "per-metric":
+			perMetricSet = true
 		}
 	})
 	if err := validateRunFlags(*workers, *timeout, timeoutSet); err != nil {
@@ -145,47 +152,76 @@ func main() {
 
 	base := strings.TrimSuffix(*algo, "+")
 	plus := strings.HasSuffix(*algo, "+")
+	algoLabel := *algo
+	if *ml {
+		algoLabel = "multilevel(" + *algo + ")"
+	}
 
 	start := time.Now()
 	var res *htp.Result
 	var initial float64
-	switch base {
-	case "flow":
-		opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed,
-			Inject: inject.Options{Workers: *workers}, Observer: observer, Progress: progressFn}
-		if plus {
-			res, initial, err = htp.FlowPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
-		} else {
-			res, err = htp.FlowCtx(ctx, h, spec, opt)
-			if res != nil {
-				initial = res.Cost
-			}
+	switch {
+	case *ml:
+		// The V-cycle owns iteration/metric defaults tuned for the coarse
+		// level; the flat-FLOW flag defaults (-n 4) would override them, so
+		// only explicitly-set values are forwarded.
+		mo := htp.MultilevelOptions{
+			Strategy:      *algo,
+			CoarsenTarget: *coarsenTgt,
+			Seed:          *seed,
+			Workers:       *workers,
+			Observer:      observer,
+			Progress:      progressFn,
 		}
-	case "rfm":
-		// RFM/GFM take no ProgressFunc of their own; fold it into the sink.
-		opt := htp.RFMOptions{Seed: *seed,
-			Observer: obs.Multi(observer, obs.ProgressObserver(progressFn))}
-		if plus {
-			res, initial, err = htp.RFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
-		} else {
-			res, err = htp.RFMCtx(ctx, h, spec, opt)
-			if res != nil {
-				initial = res.Cost
-			}
+		if itersSet {
+			mo.Flow.Iterations = *iters
 		}
-	case "gfm":
-		opt := htp.GFMOptions{Seed: *seed,
-			Observer: obs.Multi(observer, obs.ProgressObserver(progressFn))}
-		if plus {
-			res, initial, err = htp.GFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
-		} else {
-			res, err = htp.GFMCtx(ctx, h, spec, opt)
-			if res != nil {
-				initial = res.Cost
-			}
+		if perMetricSet {
+			mo.Flow.PartitionsPerMetric = *perMetric
+		}
+		res, err = htp.MultilevelCtx(ctx, h, spec, mo)
+		if res != nil {
+			initial = res.Cost
 		}
 	default:
-		err = fmt.Errorf("unknown algorithm %q", *algo)
+		switch base {
+		case "flow":
+			opt := htp.FlowOptions{Iterations: *iters, PartitionsPerMetric: *perMetric, Seed: *seed,
+				Inject: inject.Options{Workers: *workers}, Observer: observer, Progress: progressFn}
+			if plus {
+				res, initial, err = htp.FlowPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
+			} else {
+				res, err = htp.FlowCtx(ctx, h, spec, opt)
+				if res != nil {
+					initial = res.Cost
+				}
+			}
+		case "rfm":
+			// RFM/GFM take no ProgressFunc of their own; fold it into the sink.
+			opt := htp.RFMOptions{Seed: *seed,
+				Observer: obs.Multi(observer, obs.ProgressObserver(progressFn))}
+			if plus {
+				res, initial, err = htp.RFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
+			} else {
+				res, err = htp.RFMCtx(ctx, h, spec, opt)
+				if res != nil {
+					initial = res.Cost
+				}
+			}
+		case "gfm":
+			opt := htp.GFMOptions{Seed: *seed,
+				Observer: obs.Multi(observer, obs.ProgressObserver(progressFn))}
+			if plus {
+				res, initial, err = htp.GFMPlusCtx(ctx, h, spec, opt, fm.RefineOptions{})
+			} else {
+				res, err = htp.GFMCtx(ctx, h, spec, opt)
+				if res != nil {
+					initial = res.Cost
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown algorithm %q", *algo)
+		}
 	}
 	if *progress {
 		fmt.Fprint(os.Stderr, "\n") // terminate the live line before results
@@ -202,7 +238,7 @@ func main() {
 	if vrep := verify.Result(res); !vrep.OK() {
 		fatal(fmt.Errorf("result failed independent verification: %w", vrep.Err()))
 	}
-	fmt.Printf("algorithm: %s\n", *algo)
+	fmt.Printf("algorithm: %s\n", algoLabel)
 	fmt.Printf("cost:      %.0f\n", res.Cost)
 	fmt.Printf("verified:  cost, feasibility, and Lemma-1 re-checked independently\n")
 	if plus {
@@ -252,7 +288,7 @@ func main() {
 
 	if *report != "" {
 		rr := runReport{
-			Algorithm:   *algo,
+			Algorithm:   algoLabel,
 			Input:       *in,
 			Seed:        *seed,
 			Cost:        res.Cost,
@@ -276,7 +312,7 @@ func main() {
 	if *save != "" {
 		d := hierarchy.DumpPartition(res.Partition, res.Cost)
 		d.Netlist = *in
-		d.Algorithm = *algo
+		d.Algorithm = algoLabel
 		d.Seed = *seed
 		d.Stop = string(res.Stop)
 		// Atomic temp+rename write: an interrupt mid-save can never leave a

@@ -1,6 +1,6 @@
 // Command htpd serves hierarchical tree partitioning as a hardened HTTP
 // daemon: jobs are submitted as JSON documents carrying an inline netlist,
-// solved by the anytime FLOW/GFM stack under a per-job deadline budget with
+// solved by the anytime multilevel/FLOW/GFM stack under a per-job deadline budget with
 // graceful degradation, independently re-certified before anything is
 // served, and journaled for crash recovery.
 //
@@ -46,6 +46,7 @@ func main() {
 		workers  = flag.Int("workers", 2, "solver worker pool size")
 		queue    = flag.Int("queue", 16, "max queued jobs before submits get 429")
 		maxNodes = flag.Int("max-nodes", 1<<20, "per-job node-count budget (413 above it)")
+		mlNodes  = flag.Int("ml-nodes", 1<<15, "instance size at which jobs are served by the multilevel-first ladder")
 		budget   = flag.Duration("budget", 30*time.Second, "default per-job deadline budget")
 		maxBud   = flag.Duration("max-budget", 5*time.Minute, "ceiling on client-requested budgets")
 		attempts = flag.Int("attempts", 3, "max solver attempts per degradation rung")
@@ -57,16 +58,17 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, server.Config{
-		Workers:       *workers,
-		MaxQueue:      *queue,
-		MaxNodes:      *maxNodes,
-		DefaultBudget: *budget,
-		MaxBudget:     *maxBud,
-		MaxAttempts:   *attempts,
-		BaseBackoff:   *backoff,
-		JournalPath:   *journal,
-		ResultDir:     *results,
-		Logger:        newLogger(*logLevel),
+		Workers:         *workers,
+		MaxQueue:        *queue,
+		MaxNodes:        *maxNodes,
+		MultilevelNodes: *mlNodes,
+		DefaultBudget:   *budget,
+		MaxBudget:       *maxBud,
+		MaxAttempts:     *attempts,
+		BaseBackoff:     *backoff,
+		JournalPath:     *journal,
+		ResultDir:       *results,
+		Logger:          newLogger(*logLevel),
 	}, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "htpd: %v\n", err)
 		os.Exit(1)

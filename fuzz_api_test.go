@@ -56,5 +56,19 @@ func FuzzSolvePipeline(f *testing.F) {
 				t.Fatalf("FLOW not deterministic: %.17g then %.17g (err %v)", fres.Cost, again.Cost, err)
 			}
 		}
+
+		// The V-cycle route: a tiny CoarsenTarget forces real coarsening and
+		// uncoarsening even on fuzz-sized instances, so contraction, the
+		// coarse solve, projection, and boundary refinement all run.
+		mres, err := repro.Multilevel(h, spec, repro.MultilevelOptions{Seed: seed, CoarsenTarget: 8})
+		if err == nil {
+			if rep := verify.Result(mres); !rep.OK() {
+				t.Fatalf("multilevel result escaped verification: %v\nnetlist: %q", rep.Err(), netlist)
+			}
+			again, err := repro.Multilevel(h, spec, repro.MultilevelOptions{Seed: seed, CoarsenTarget: 8})
+			if err != nil || again.Cost != mres.Cost {
+				t.Fatalf("multilevel not deterministic: %.17g then %.17g (err %v)", mres.Cost, again.Cost, err)
+			}
+		}
 	})
 }

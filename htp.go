@@ -286,6 +286,29 @@ func GFMPlusCtx(ctx context.Context, h *Hypergraph, spec Spec, opt GFMOptions, r
 	return htp.GFMPlusCtx(ctx, h, spec, opt, ref)
 }
 
+// MultilevelOptions tunes the multilevel V-cycle: coarsening, the
+// coarse-level construction strategy, and per-level refinement.
+type MultilevelOptions = htp.MultilevelOptions
+
+// CoarseStage is the pluggable coarse-level constructor of the multilevel
+// pipeline; FLOW, RFM, GFM and custom constructors all fit.
+type CoarseStage = htp.CoarseStage
+
+// Multilevel runs the multilevel V-cycle — deterministic heavy-edge
+// coarsening, a coarse-level construction by the configured strategy
+// (FLOW by default), and boundary-localized FM refinement on the way back
+// down. The scalable route for large netlists; see README "Scaling to
+// large netlists".
+func Multilevel(h *Hypergraph, spec Spec, opt MultilevelOptions) (*Result, error) {
+	return htp.Multilevel(h, spec, opt)
+}
+
+// MultilevelCtx is Multilevel under a context, with FLOW's anytime
+// contract: cancellation mid-descent salvages the best partition reached.
+func MultilevelCtx(ctx context.Context, h *Hypergraph, spec Spec, opt MultilevelOptions) (*Result, error) {
+	return htp.MultilevelCtx(ctx, h, spec, opt)
+}
+
 // Refine improves a partition in place by FM-style hierarchical moves and
 // returns the final cost and total improvement.
 func Refine(p *Partition, opt RefineOptions) (cost, improvement float64) {
@@ -373,6 +396,19 @@ func GenerateCircuit(spec CircuitSpec, seed int64) *Hypergraph {
 
 // CircuitByName returns the ISCAS85-class spec with the given name.
 func CircuitByName(name string) (CircuitSpec, error) { return circuits.ByName(name) }
+
+// ScaledCircuit returns a synthetic spec with the given gate count — the
+// scale rungs above the ISCAS85 suite used by the multilevel scaling
+// experiments. Generate it with GenerateCircuit, or stream it to disk with
+// StreamCircuit when the instance should not be materialized.
+func ScaledCircuit(gates int) CircuitSpec { return circuits.Scaled(gates) }
+
+// StreamCircuit writes the spec's netlist in the extended hMETIS format
+// without building a Hypergraph; bytes are identical to
+// GenerateCircuit(spec, seed).Write(w).
+func StreamCircuit(spec CircuitSpec, seed int64, w io.Writer) error {
+	return circuits.Stream(spec, seed, w)
+}
 
 // Figure2 reconstructs the paper's worked example graph, spec, and intended
 // leaf groups.

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -171,5 +172,65 @@ func TestClustered(t *testing.T) {
 	comps := h.Components()
 	if len(comps) != 1 {
 		t.Fatalf("ring of clusters must be connected, got %d components", len(comps))
+	}
+}
+
+// TestStreamMatchesGenerate pins the streaming writer's contract: for any
+// spec and seed, Stream emits byte-for-byte what Generate+Write would,
+// without building the Hypergraph.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, spec := range []CircuitSpec{
+		ISCAS85[0],
+		Scaled(2048),
+	} {
+		var streamed bytes.Buffer
+		if err := Stream(spec, 7, &streamed); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		var built bytes.Buffer
+		if err := Generate(spec, 7).Write(&built); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !bytes.Equal(streamed.Bytes(), built.Bytes()) {
+			t.Fatalf("%s: streamed netlist differs from Generate+Write", spec.Name)
+		}
+	}
+}
+
+// TestStreamRoundTrip: a streamed netlist parses back to the generated
+// hypergraph's exact shape.
+func TestStreamRoundTrip(t *testing.T) {
+	spec := Scaled(4096)
+	var buf bytes.Buffer
+	if err := Stream(spec, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := hypergraph.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Generate(spec, 3)
+	if h.NumNodes() != want.NumNodes() || h.NumNets() != want.NumNets() || h.NumPins() != want.NumPins() {
+		t.Fatalf("round trip: %d/%d/%d nodes/nets/pins, want %d/%d/%d",
+			h.NumNodes(), h.NumNets(), h.NumPins(), want.NumNodes(), want.NumNets(), want.NumPins())
+	}
+}
+
+// TestScaledSpecs: the synthetic rungs carry the requested gate count and
+// I/O counts that grow sublinearly, like the ISCAS85 table.
+func TestScaledSpecs(t *testing.T) {
+	prevPIs := 0
+	for _, gates := range []int{2048, 16384, 65536, 262144} {
+		s := Scaled(gates)
+		if s.Gates != gates {
+			t.Fatalf("Scaled(%d).Gates = %d", gates, s.Gates)
+		}
+		if s.PIs <= prevPIs {
+			t.Fatalf("PIs must grow with gates: %d -> %d", prevPIs, s.PIs)
+		}
+		if s.PIs >= gates/8 {
+			t.Fatalf("Scaled(%d) has %d PIs; I/O must stay sublinear", gates, s.PIs)
+		}
+		prevPIs = s.PIs
 	}
 }

@@ -1,7 +1,10 @@
 package circuits
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 
 	"repro/internal/hypergraph"
@@ -38,6 +41,24 @@ func ByName(name string) (CircuitSpec, error) {
 	return CircuitSpec{}, fmt.Errorf("circuits: unknown circuit %q", name)
 }
 
+// Scaled returns a synthetic circuit spec with the given gate count —
+// the scale rungs (65536, 262144, ...) above the ISCAS85 suite that the
+// multilevel scaling experiments run on. I/O counts follow a Rent-like
+// rule calibrated to the ISCAS85 table (a few hundred pads on a
+// few-thousand-gate circuit, growing with the square root of area).
+func Scaled(gates int) CircuitSpec {
+	if gates < 16 {
+		gates = 16
+	}
+	pis := int(2.5 * math.Sqrt(float64(gates)))
+	return CircuitSpec{
+		Name:  fmt.Sprintf("synth%d", gates),
+		Gates: gates,
+		PIs:   pis,
+		POs:   pis / 2,
+	}
+}
+
 // Generate builds a deterministic synthetic gate-level netlist with the
 // spec's gate count, imitating the structure of real combinational logic:
 //
@@ -56,11 +77,45 @@ func ByName(name string) (CircuitSpec, error) {
 // nets (unconsumed outputs, i.e. primary outputs, and unused PIs) do not
 // appear, matching netlist-hypergraph semantics where |e| >= 2.
 func Generate(spec CircuitSpec, seed int64) *hypergraph.Hypergraph {
-	rng := rand.New(rand.NewSource(seed))
 	b := hypergraph.NewBuilder()
 	for g := 0; g < spec.Gates; g++ {
 		b.AddNode(fmt.Sprintf("%s_g%d", spec.Name, g), 1)
 	}
+	generateNets(spec, seed, func(pins []hypergraph.NodeID) {
+		b.AddNet("", 1, pins...)
+	})
+	return b.MustBuild()
+}
+
+// Stream writes the spec's netlist in the extended hMETIS format without
+// materializing a Hypergraph (no builder maps, no node-name table, no CSR
+// arrays) — the peak footprint is just the consumer lists, which is what
+// lets million-gate rungs generate in a modest heap. The bytes are
+// identical to Generate(spec, seed).Write(w) for the same seed; the
+// regression test pins that.
+func Stream(spec CircuitSpec, seed int64, w io.Writer) error {
+	var nets int
+	generateNets(spec, seed, func(pins []hypergraph.NodeID) { nets++ })
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", nets, spec.Gates)
+	generateNets(spec, seed, func(pins []hypergraph.NodeID) {
+		for i, v := range pins {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", v+1)
+		}
+		bw.WriteByte('\n')
+	})
+	return bw.Flush()
+}
+
+// generateNets runs the generator and hands every finalized net (pins
+// deduplicated, driver included, |e| >= 2) to emit, in deterministic
+// order. Shared by Generate (which builds a Hypergraph) and Stream (which
+// writes the netlist directly).
+func generateNets(spec CircuitSpec, seed int64, emit func(pins []hypergraph.NodeID)) {
+	rng := rand.New(rand.NewSource(seed))
 
 	moduleSize := spec.Gates / 24
 	if moduleSize < 8 {
@@ -169,10 +224,9 @@ func Generate(spec CircuitSpec, seed int64) *hypergraph.Hypergraph {
 			pins = dedupeWith(pins, driver)
 		}
 		if len(pins) >= 2 {
-			b.AddNet("", 1, pins...)
+			emit(pins)
 		}
 	}
-	return b.MustBuild()
 }
 
 // piShare returns the probability that gate g reads a primary input: high

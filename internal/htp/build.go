@@ -123,27 +123,86 @@ func (b *builder) interrupted() error {
 		errors.Join(anytime.ErrNoPartition, context.Cause(b.ctx)))
 }
 
-// place assigns the node set held by sub to tree vertex q, carving children
-// recursively. sub's node v is orig[v] in the root hypergraph; d[e] is the
-// metric length of sub's net e.
+// errUnpackable marks a decomposition that needed more than K_l blocks at
+// some vertex — a packing failure a re-carve (different random pieces, at
+// this vertex or an ancestor) may fix. Unit-size instances never hit it:
+// every carve lands inside [lb..ub] there, which bounds the block count by
+// construction. Lumpy node sizes (multilevel cluster nodes) can make a
+// carved set an infeasible exact-packing instance, and then only changing
+// the set itself — backtracking — helps.
+var errUnpackable = fmt.Errorf("htp: node set does not pack under the branch bound: %w", anytime.ErrNoPartition)
+
+// carveRetries bounds decomposition attempts per vertex. Retries trigger
+// only on errUnpackable, so the common (feasible-first-try) path draws the
+// same RNG stream as a retry-free builder.
+const carveRetries = 4
+
+// block is a fully decomposed subtree, computed before any tree mutation so
+// a failed attempt can be discarded and retried. Leaves hold the node set
+// (in root-hypergraph IDs); internal blocks hold children.
+type block struct {
+	orig     []hypergraph.NodeID
+	children []*block
+}
+
+// place assigns the node set held by sub to tree vertex q: it decomposes
+// the set recursively (with retries and backtracking, no tree mutation),
+// then materializes the resulting subtree. sub's node v is orig[v] in the
+// root hypergraph; d[e] is the metric length of sub's net e.
 func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, d []float64) error {
-	if err := b.interrupted(); err != nil {
+	blk, err := b.decompose(sub, orig, d, b.p.Tree.Level(q))
+	if err != nil {
 		return err
 	}
-	tree := b.p.Tree
-	level := tree.Level(q)
-	if level == 0 {
-		for _, v := range orig {
-			b.p.Assign(v, q)
-		}
-		return nil
+	b.materialize(q, blk)
+	return nil
+}
+
+// decompose carves the node set into a block subtree for a vertex at the
+// given level, retrying the whole vertex on a packing failure. A child's
+// failure (after its own retries) propagates here as errUnpackable and
+// triggers a re-carve of this vertex — changing the child's node set is
+// exactly what an unpackable child needs. Context errors are never retried.
+func (b *builder) decompose(sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, d []float64, level int) (*block, error) {
+	if err := b.interrupted(); err != nil {
+		return nil, err
 	}
+	if level == 0 {
+		return &block{orig: orig}, nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < carveRetries; attempt++ {
+		if attempt > 0 {
+			if err := b.interrupted(); err != nil {
+				return nil, err
+			}
+		}
+		blk, err := b.tryDecompose(sub, orig, d, level)
+		if err == nil {
+			return blk, nil
+		}
+		if !errors.Is(err, errUnpackable) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// tryDecompose runs one carving pass over the vertex: repeatedly separate a
+// piece within the size window and decompose it one level down.
+func (b *builder) tryDecompose(sub *hypergraph.Hypergraph, orig []hypergraph.NodeID, d []float64, level int) (*block, error) {
 	k := b.spec.Branch[level-1]
 	ub := b.spec.Capacity[level-1]
 	remaining, remOrig, remD := sub, orig, d
 	fixedLB := (sub.TotalSize() + int64(k) - 1) / int64(k)
+	blk := &block{}
 
 	for slot := 0; remaining.NumNodes() > 0; slot++ {
+		if slot == k {
+			return nil, fmt.Errorf("htp: %d nodes unplaced after %d blocks at level %d: %w",
+				remaining.NumNodes(), k, level, errUnpackable)
+		}
 		var piece []hypergraph.NodeID // in remaining's IDs
 		if remaining.TotalSize() <= ub {
 			piece = allNodes(remaining)
@@ -165,20 +224,21 @@ func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.Nod
 			// findCut returns nil when no single node fits under ub, and a
 			// custom engine may misbehave the same way. Recursing on an empty
 			// piece would loop forever with remaining never shrinking.
-			return fmt.Errorf("htp: cut engine produced no feasible block at level %d (ub %d): %w",
+			return nil, fmt.Errorf("htp: cut engine produced no feasible block at level %d (ub %d): %w",
 				level, ub, anytime.ErrOversizedNode)
 		}
 
-		child := tree.AddChild(q)
 		pieceOrig := make([]hypergraph.NodeID, len(piece))
 		for i, v := range piece {
 			pieceOrig[i] = remOrig[v]
 		}
 		pieceSub, _, pieceNets := remaining.InducedSubgraph(piece)
 		pieceD := project(remD, pieceNets)
-		if err := b.place(child, pieceSub, pieceOrig, pieceD); err != nil {
-			return err
+		child, err := b.decompose(pieceSub, pieceOrig, pieceD, level-1)
+		if err != nil {
+			return nil, err
 		}
+		blk.children = append(blk.children, child)
 
 		if len(piece) == remaining.NumNodes() {
 			break
@@ -200,7 +260,21 @@ func (b *builder) place(q int, sub *hypergraph.Hypergraph, orig []hypergraph.Nod
 		remD = project(remD, keepNets)
 		remOrig = keepOrig
 	}
-	return nil
+	return blk, nil
+}
+
+// materialize grows the tree under vertex q from a decomposed block and
+// assigns leaf nodes.
+func (b *builder) materialize(q int, blk *block) {
+	if b.p.Tree.Level(q) == 0 {
+		for _, v := range blk.orig {
+			b.p.Assign(v, q)
+		}
+		return
+	}
+	for _, c := range blk.children {
+		b.materialize(b.p.Tree.AddChild(q), c)
+	}
 }
 
 // carve runs the cut engine CarveAttempts times and returns the piece with
@@ -245,7 +319,75 @@ func (b *builder) carve(sub *hypergraph.Hypergraph, d []float64, lb, ub int64) [
 			best = polished
 		}
 	}
-	return best
+	return b.topUp(sub, best, lb, ub)
+}
+
+// topUp repairs an undershot piece. The engines return a piece below lb
+// when lumpy node sizes let every candidate prefix jump the [lb..ub]
+// window (unit-size instances never trigger this). place relies on
+// piece ≥ lb = ceil(remaining/slots) to bound the child count by K_l, so
+// an undershot piece must be padded: nodes are absorbed in index order
+// (deterministic), smallest-first among what fits, until the piece
+// reaches lb or nothing more fits under ub.
+func (b *builder) topUp(sub *hypergraph.Hypergraph, piece []hypergraph.NodeID, lb, ub int64) []hypergraph.NodeID {
+	var size int64
+	for _, v := range piece {
+		size += sub.NodeSize(v)
+	}
+	if size >= lb || len(piece) == 0 || len(piece) == sub.NumNodes() {
+		return piece
+	}
+	in := make([]bool, sub.NumNodes())
+	for _, v := range piece {
+		in[v] = true
+	}
+	for size < lb {
+		best := hypergraph.NodeID(-1)
+		for v := 0; v < sub.NumNodes(); v++ {
+			id := hypergraph.NodeID(v)
+			if in[v] || size+sub.NodeSize(id) > ub {
+				continue
+			}
+			if best < 0 || sub.NodeSize(id) < sub.NodeSize(best) {
+				best = id
+			}
+		}
+		if best >= 0 {
+			in[best] = true
+			piece = append(piece, best)
+			size += sub.NodeSize(best)
+			continue
+		}
+		// No single addition fits under ub. Trade a small in-piece node for
+		// a larger out-node when the exchange stays inside the window —
+		// enough to cross lumpy subset-sum gaps that pure additions cannot.
+		var swapIn, swapOut hypergraph.NodeID = -1, -1
+		var gain int64
+		for i := 0; i < sub.NumNodes(); i++ {
+			out := hypergraph.NodeID(i)
+			if in[i] {
+				continue
+			}
+			for _, cur := range piece {
+				d := sub.NodeSize(out) - sub.NodeSize(cur)
+				if d > gain && size+d <= ub {
+					swapIn, swapOut, gain = out, cur, d
+				}
+			}
+		}
+		if swapIn < 0 {
+			break // genuinely stuck; place reports via the child-count check
+		}
+		in[swapIn], in[swapOut] = true, false
+		for i, v := range piece {
+			if v == swapOut {
+				piece[i] = swapIn
+				break
+			}
+		}
+		size += gain
+	}
+	return piece
 }
 
 // project maps parent net lengths onto an induced subgraph's nets.

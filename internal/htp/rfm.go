@@ -139,13 +139,31 @@ func fmCarve(sub *hypergraph.Hypergraph, lb, ub int64, opt fm.BiOptions, rng *ra
 			size += sub.NodeSize(hypergraph.NodeID(v))
 		}
 	}
-	// Enforce the hard upper bound: if the grow-refine left the side heavy
-	// (possible when refinement could not move anything), shed the
-	// last-added nodes.
+	// Enforce the hard upper bound. On unit node sizes the grow lands
+	// exactly on target and refinement preserves [lb..ub], so the loop
+	// never runs and flat RFM is unchanged. On lumpy sizes (multilevel
+	// cluster nodes) the grow can overshoot ub by up to a node and
+	// refinement cannot always recover; an undershoot of lb is repaired
+	// by the builder's shared top-up (see carve in build.go).
 	for size > ub && len(piece) > 1 {
-		v := piece[len(piece)-1]
-		piece = piece[:len(piece)-1]
-		size -= sub.NodeSize(v)
+		// Prefer a removal that lands inside the window; otherwise shed the
+		// largest node so the loop makes maximal progress toward ub.
+		best := -1
+		for i, v := range piece {
+			if s := sub.NodeSize(v); size-s >= lb && size-s <= ub {
+				best = i
+				break
+			}
+		}
+		if best < 0 {
+			for i, v := range piece {
+				if best < 0 || sub.NodeSize(v) > sub.NodeSize(piece[best]) {
+					best = i
+				}
+			}
+		}
+		size -= sub.NodeSize(piece[best])
+		piece = append(piece[:best], piece[best+1:]...)
 	}
 	return piece
 }

@@ -369,3 +369,73 @@ func (h *Hypergraph) Contract(clusterOf []int, k int) (*Hypergraph, error) {
 	}
 	return b.Build()
 }
+
+// ContractDedup is Contract with the two reductions a multilevel coarsener
+// needs for pin counts to shrink monotonically level over level:
+//
+//   - nets whose pins collapse into fewer than 2 distinct clusters disappear
+//     (as in Contract);
+//   - nets that collapse onto the same cluster set merge into one net whose
+//     capacity is the sum of the merged capacities.
+//
+// The merge is cost-exact: two nets with identical pin sets have identical
+// spans in every partition, so Σ_l w_l·span·(c_1+c_2) equals the sum of
+// their individual costs. Without it, contraction preserves every parallel
+// net forever — after a few levels a coarse graph of a few hundred nodes can
+// still drag the fine graph's full net and pin population behind it, and a
+// deep level stack multiplies that into an allocation blow-up (see the
+// regression test TestContractDedupPinShrink).
+//
+// The merged net keeps the first contributing net's name. Cluster pin order
+// within a net is ascending, and net order follows the first contributing
+// fine net, so the result is deterministic.
+func (h *Hypergraph) ContractDedup(clusterOf []int, k int) (*Hypergraph, error) {
+	if len(clusterOf) != h.NumNodes() {
+		return nil, fmt.Errorf("hypergraph: clusterOf has %d entries, want %d", len(clusterOf), h.NumNodes())
+	}
+	sizes := make([]int64, k)
+	for v, c := range clusterOf {
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("hypergraph: node %d has cluster %d out of range [0,%d)", v, c, k)
+		}
+		sizes[c] += h.nodeSizes[v]
+	}
+	b := NewBuilder()
+	for c := 0; c < k; c++ {
+		if sizes[c] == 0 {
+			return nil, fmt.Errorf("hypergraph: cluster %d is empty", c)
+		}
+		b.AddNode(fmt.Sprintf("cluster%d", c), sizes[c])
+	}
+	mark := make([]bool, k)
+	index := make(map[string]NetID) // sorted cluster set -> coarse net
+	var key []byte
+	for e := 0; e < h.NumNets(); e++ {
+		var touched []NodeID
+		for _, v := range h.pins[e] {
+			c := clusterOf[v]
+			if !mark[c] {
+				mark[c] = true
+				touched = append(touched, NodeID(c))
+			}
+		}
+		for _, c := range touched {
+			mark[c] = false
+		}
+		if len(touched) < 2 {
+			continue
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		key = key[:0]
+		for _, c := range touched {
+			key = append(key, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		if id, ok := index[string(key)]; ok {
+			b.netCaps[id] += h.netCaps[e]
+			continue
+		}
+		id := b.AddNet(h.netNames[e], h.netCaps[e], touched...)
+		index[string(key)] = id
+	}
+	return b.Build()
+}

@@ -207,6 +207,127 @@ func TestContract(t *testing.T) {
 	}
 }
 
+func TestContractDedup(t *testing.T) {
+	// 4 nodes; nets {0,1}, {1,2}, {2,3}, {0,1,2,3}, plus a duplicate of
+	// {1,2}. Under clusters {0,1}/{2,3} the three surviving fine nets all
+	// collapse onto the cluster pair {A,B}, so dedup must merge them into
+	// one net with summed capacity 1+1+5 = 7.
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddNode("", 1)
+	}
+	b.AddNet("a", 1, 0, 1)
+	b.AddNet("b", 1, 1, 2)
+	b.AddNet("c", 1, 2, 3)
+	b.AddNet("d", 5, 0, 1, 2, 3)
+	b.AddNet("e", 1, 2, 1) // parallel to "b", reversed pin order
+	h := b.MustBuild()
+
+	ch, err := h.ContractDedup([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.NumNodes() != 2 {
+		t.Fatalf("contracted nodes = %d", ch.NumNodes())
+	}
+	if ch.NumNets() != 1 {
+		t.Fatalf("deduped nets = %d, want 1", ch.NumNets())
+	}
+	if ch.NetCapacity(0) != 7 {
+		t.Fatalf("merged capacity = %v, want 7", ch.NetCapacity(0))
+	}
+	if ch.NetName(0) != "b" {
+		t.Fatalf("merged net kept name %q, want first contributor \"b\"", ch.NetName(0))
+	}
+
+	// Plain Contract keeps all three as parallel nets.
+	cp, err := h.Contract([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.NumNets() != 3 {
+		t.Fatalf("plain contract nets = %d, want 3", cp.NumNets())
+	}
+}
+
+// TestContractDedupPinShrink is the memory-hazard regression test for the
+// multilevel coarsener. A chain where every edge is duplicated many times
+// keeps its full parallel-net population under plain Contract at every
+// level — pin counts never shrink, so a deep level stack holds
+// levels × dup × n pins at once (the OOM blow-up mode). ContractDedup must
+// collapse each parallel bundle to one net so pins drop geometrically with
+// the node count.
+func TestContractDedupPinShrink(t *testing.T) {
+	const (
+		n   = 256
+		dup = 64
+	)
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("", 1)
+	}
+	for i := 0; i < n-1; i++ {
+		for d := 0; d < dup; d++ {
+			b.AddNet("", 1, NodeID(i), NodeID(i+1))
+		}
+	}
+	h := b.MustBuild()
+
+	pairUp := func(m int) []int {
+		cl := make([]int, m)
+		for i := range cl {
+			cl[i] = i / 2
+		}
+		return cl
+	}
+
+	plain, dedup := h, h
+	var err error
+	for level := 0; plain.NumNodes() > 4; level++ {
+		m := plain.NumNodes()
+		plain, err = plain.Contract(pairUp(m), (m+1)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dedup, err = dedup.ContractDedup(pairUp(m), (m+1)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plain contraction carries every surviving parallel net along:
+		// half the chain edges survive each level, each still dup-wide.
+		wantPlain := (plain.NumNodes() - 1) * dup * 2
+		if plain.NumPins() != wantPlain {
+			t.Fatalf("level %d: plain pins = %d, want %d", level, plain.NumPins(), wantPlain)
+		}
+		// Dedup keeps exactly one net per surviving chain edge.
+		wantDedup := (dedup.NumNodes() - 1) * 2
+		if dedup.NumPins() != wantDedup {
+			t.Fatalf("level %d: dedup pins = %d, want %d", level, dedup.NumPins(), wantDedup)
+		}
+		// Capacity mass on the cut structure is preserved exactly.
+		var capSum float64
+		for e := 0; e < dedup.NumNets(); e++ {
+			capSum += dedup.NetCapacity(NetID(e))
+		}
+		if want := float64((dedup.NumNodes() - 1) * dup); capSum != want {
+			t.Fatalf("level %d: dedup capacity mass = %v, want %v", level, capSum, want)
+		}
+	}
+}
+
+func TestContractDedupErrors(t *testing.T) {
+	h := triangleNet(t)
+	if _, err := h.ContractDedup([]int{0, 0}, 1); err == nil {
+		t.Fatal("accepted short clusterOf")
+	}
+	if _, err := h.ContractDedup([]int{0, 0, 2}, 2); err == nil {
+		t.Fatal("accepted out-of-range cluster")
+	}
+	if _, err := h.ContractDedup([]int{0, 0, 0}, 2); err == nil {
+		t.Fatal("accepted empty cluster")
+	}
+}
+
 func TestContractErrors(t *testing.T) {
 	h := triangleNet(t)
 	if _, err := h.Contract([]int{0, 0}, 1); err == nil {

@@ -14,6 +14,7 @@ var DetPackages = []string{
 	"repro/internal/htp",
 	"repro/internal/shortest",
 	"repro/internal/metric",
+	"repro/internal/multilevel",
 }
 
 // DetRand enforces seeded determinism in the packages of DetPackages.

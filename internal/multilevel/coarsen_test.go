@@ -1,0 +1,228 @@
+package multilevel_test
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/hierarchy"
+	"repro/internal/htp"
+	"repro/internal/hypergraph"
+	"repro/internal/multilevel"
+	"repro/internal/verify"
+)
+
+// stackHash fingerprints a level stack bit-for-bit: every level's cluster
+// mapping plus the coarse graph's node sizes and net capacities.
+func stackHash(s *multilevel.Stack) uint64 {
+	fh := fnv.New64a()
+	var b [8]byte
+	put := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(x >> (8 * i))
+		}
+		fh.Write(b[:])
+	}
+	for _, lv := range s.Levels {
+		put(uint64(lv.Coarse.NumNodes()))
+		for _, c := range lv.ClusterOf {
+			put(uint64(c))
+		}
+		for v := 0; v < lv.Coarse.NumNodes(); v++ {
+			put(uint64(lv.Coarse.NodeSize(hypergraph.NodeID(v))))
+		}
+		for e := 0; e < lv.Coarse.NumNets(); e++ {
+			put(math.Float64bits(lv.Coarse.NetCapacity(hypergraph.NetID(e))))
+			for _, p := range lv.Coarse.Pins(hypergraph.NetID(e)) {
+				put(uint64(p))
+			}
+		}
+	}
+	return fh.Sum64()
+}
+
+func testInstance(t testing.TB, name string) *multilevel.Stack {
+	t.Helper()
+	cs, err := circuits.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := circuits.Generate(cs, 7)
+	s, err := multilevel.Coarsen(context.Background(), h, multilevel.CoarsenOptions{
+		TargetNodes: 100, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCoarsenGoldenHash pins the coarsener's output for a fixed seed: the
+// exact level stack must reproduce across runs AND across worker counts.
+// If an intentional algorithm change shifts the hash, re-pin it — but a
+// Workers=1 vs Workers=N divergence is always a determinism bug.
+func TestCoarsenGoldenHash(t *testing.T) {
+	const want = 0x289934ad5d03ea57
+	cs, err := circuits.ByName("c1355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := circuits.Generate(cs, 7)
+	for _, workers := range []int{1, 2, 4, 8} {
+		s, err := multilevel.Coarsen(context.Background(), h, multilevel.CoarsenOptions{
+			TargetNodes: 100, Seed: 42, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := stackHash(s); got != want {
+			t.Errorf("workers=%d: stack hash %#016x, want %#016x", workers, got, want)
+		}
+	}
+}
+
+// TestCoarsenShrinks checks the level-stack geometry: node counts strictly
+// shrink level over level, pin counts never grow (the ContractDedup
+// invariant), and the coarsest level meets the target unless coarsening
+// stalled.
+func TestCoarsenShrinks(t *testing.T) {
+	s := testInstance(t, "c2670")
+	if len(s.Levels) == 0 {
+		t.Fatal("no coarsening happened")
+	}
+	prevNodes, prevPins := s.Fine.NumNodes(), s.Fine.NumPins()
+	for i, lv := range s.Levels {
+		if lv.Coarse.NumNodes() >= prevNodes {
+			t.Fatalf("level %d: %d nodes, not below %d", i, lv.Coarse.NumNodes(), prevNodes)
+		}
+		if lv.Coarse.NumPins() > prevPins {
+			t.Fatalf("level %d: pins grew %d -> %d", i, prevPins, lv.Coarse.NumPins())
+		}
+		if lv.Coarse.TotalSize() != s.Fine.TotalSize() {
+			t.Fatalf("level %d: total size %d != %d", i, lv.Coarse.TotalSize(), s.Fine.TotalSize())
+		}
+		if err := lv.Coarse.Validate(); err != nil {
+			t.Fatalf("level %d: %v", i, err)
+		}
+		prevNodes, prevPins = lv.Coarse.NumNodes(), lv.Coarse.NumPins()
+	}
+	if got := s.Coarsest().NumNodes(); got > 200 {
+		t.Fatalf("coarsest level has %d nodes, want <= ~2x target", got)
+	}
+}
+
+// TestProjectPreservesCost checks the exactness property the salvage path
+// relies on: projecting a coarse partition down one level changes neither
+// feasibility nor cost, bit-for-bit modulo float summation order.
+func TestProjectPreservesCost(t *testing.T) {
+	s := testInstance(t, "c1355")
+	spec, err := hierarchy.BinaryTreeSpec(s.Fine.TotalSize(), 4, hierarchy.GeometricWeights(4, 2), 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := htp.GFMCtx(context.Background(), s.Coarsest(), spec, htp.GFMOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cost := res.Partition, res.Cost
+	for i := len(s.Levels) - 1; i >= 0; i-- {
+		fp, err := s.Project(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("projection to level %d invalid: %v", i, err)
+		}
+		got := fp.Cost()
+		if math.Abs(got-cost) > 1e-6*math.Max(1, cost) {
+			t.Fatalf("projection to level %d: cost %g, want %g", i, got, cost)
+		}
+		p, cost = fp, got
+	}
+	if p.H != s.Fine {
+		t.Fatal("descent did not reach the fine graph")
+	}
+}
+
+// TestUncoarsenRefinesAndCertifies runs the full descent with refinement:
+// the result must be over the fine graph, cost at most the coarse solution's
+// (refinement only improves), and certified by the independent verifier.
+func TestUncoarsenRefinesAndCertifies(t *testing.T) {
+	s := testInstance(t, "c1355")
+	spec, err := hierarchy.BinaryTreeSpec(s.Fine.TotalSize(), 4, hierarchy.GeometricWeights(4, 2), 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := htp.GFMCtx(context.Background(), s.Coarsest(), spec, htp.GFMOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cost, salvaged, err := s.Uncoarsen(context.Background(), res.Partition, res.Cost, multilevel.UncoarsenOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if salvaged != 0 {
+		t.Fatalf("uncancelled descent salvaged %d levels", salvaged)
+	}
+	if p.H != s.Fine {
+		t.Fatal("result is not over the fine graph")
+	}
+	if cost > res.Cost+1e-9 {
+		t.Fatalf("descent worsened cost: %g -> %g", res.Cost, cost)
+	}
+	if r := verify.Certify(p, cost); !r.OK() {
+		t.Fatalf("verifier rejects uncoarsened partition: %v", r.Err())
+	}
+}
+
+// TestUncoarsenSalvageOnCancel cancels before the descent: every level must
+// be projected without refinement, still yielding a valid fine partition at
+// exactly the coarse cost.
+func TestUncoarsenSalvageOnCancel(t *testing.T) {
+	s := testInstance(t, "c1355")
+	spec, err := hierarchy.BinaryTreeSpec(s.Fine.TotalSize(), 4, hierarchy.GeometricWeights(4, 2), 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := htp.GFMCtx(context.Background(), s.Coarsest(), spec, htp.GFMOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, cost, salvaged, err := s.Uncoarsen(ctx, res.Partition, res.Cost, multilevel.UncoarsenOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if salvaged != len(s.Levels) {
+		t.Fatalf("salvaged %d of %d levels", salvaged, len(s.Levels))
+	}
+	if math.Abs(cost-res.Cost) > 1e-6*math.Max(1, res.Cost) {
+		t.Fatalf("pure projection changed cost: %g -> %g", res.Cost, cost)
+	}
+	if r := verify.Certify(p, cost); !r.OK() {
+		t.Fatalf("verifier rejects salvaged partition: %v", r.Err())
+	}
+}
+
+// TestCoarsenHonoursContext: a cancelled context stops between levels and
+// returns the (possibly empty) stack built so far.
+func TestCoarsenHonoursContext(t *testing.T) {
+	cs, err := circuits.ByName("c1355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := circuits.Generate(cs, 7)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	s, err := multilevel.Coarsen(ctx, h, multilevel.CoarsenOptions{TargetNodes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Levels) != 0 {
+		t.Fatalf("expired context still built %d levels", len(s.Levels))
+	}
+}

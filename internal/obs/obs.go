@@ -60,6 +60,13 @@ const (
 	// its partial metric (the anytime path). Fields: Iter, Cost (0 if the
 	// salvage build failed), Salvaged=true, Detail on failure.
 	KindSalvage Kind = "salvage"
+	// KindLevel: one multilevel V-cycle level finished. Fields: Phase
+	// ("coarsen" while building the level stack, "uncoarsen" while
+	// projecting back down), Round (1-based level index within the phase),
+	// Active (node count of the level's hypergraph), Cost (current
+	// partition cost; 0 during coarsening, where none exists yet),
+	// ElapsedMS (the level alone).
+	KindLevel Kind = "level"
 	// KindStop: the solver run ended; exactly one per run, always last.
 	// Fields: Reason (a stop reason string, or "error"), Cost (final
 	// best), ElapsedMS (whole run), Detail (the error, if any).
@@ -69,7 +76,7 @@ const (
 // Kinds lists every event kind a solver run can emit.
 var Kinds = []Kind{
 	KindMetricRound, KindMetricDone, KindBuildDone, KindBest,
-	KindIterDone, KindRefinePass, KindSpan, KindSalvage, KindStop,
+	KindIterDone, KindRefinePass, KindSpan, KindSalvage, KindLevel, KindStop,
 }
 
 // Event is one telemetry record. A single flat struct (rather than one

@@ -84,7 +84,9 @@ func decodeTrace(t *testing.T, buf *bytes.Buffer) []obs.Event {
 }
 
 // checkTraceInvariants enforces the cross-event contract: one terminal
-// stop, last; metric rounds 1-based and monotone within each iteration.
+// stop, last; metric rounds 1-based and monotone within each iteration. A
+// "coarse-fallback" span marks the multilevel engine restarting its coarse
+// stage one level finer, which legitimately restarts the round clock.
 func checkTraceInvariants(t *testing.T, events []obs.Event) {
 	t.Helper()
 	if len(events) == 0 {
@@ -94,6 +96,10 @@ func checkTraceInvariants(t *testing.T, events []obs.Event) {
 	lastRound := map[int]int{} // iteration -> last metric round seen
 	for i, e := range events {
 		switch e.Kind {
+		case obs.KindSpan:
+			if e.Phase == "coarse-fallback" {
+				clear(lastRound)
+			}
 		case obs.KindStop:
 			stops++
 			if i != len(events)-1 {
@@ -193,6 +199,29 @@ func TestTraceSchemaRoundTrip(t *testing.T) {
 		}
 		if !salvaged {
 			t.Fatalf("no salvage event in cancelled trace: %v", kinds(events))
+		}
+	})
+
+	t.Run("multilevel", func(t *testing.T) {
+		events := collect(t, func(sink obs.Observer) float64 {
+			res, err := htp.MultilevelCtx(context.Background(), h, spec,
+				htp.MultilevelOptions{CoarsenTarget: 32, Seed: 3, Observer: sink})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cost
+		})
+		levels := false
+		for _, e := range events {
+			if e.Kind == obs.KindLevel {
+				levels = true
+				if e.Phase != "coarsen" && e.Phase != "uncoarsen" {
+					t.Fatalf("level event with phase %q", e.Phase)
+				}
+			}
+		}
+		if !levels {
+			t.Fatalf("no level events in multilevel trace: %v", kinds(events))
 		}
 	})
 

@@ -96,6 +96,14 @@ func New(inner *server.Solvers, cfg Config) *Harness {
 // Solvers returns the fault-injecting solver seam to hand to server.Config.
 func (c *Harness) Solvers() *server.Solvers {
 	return &server.Solvers{
+		Multilevel: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.MultilevelOptions) (*htp.Result, error) {
+			ctx, done, err := c.inject(ctx, h)
+			if err != nil {
+				return nil, err
+			}
+			defer done()
+			return c.inner.Multilevel(ctx, h, spec, opt)
+		},
 		Flow: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error) {
 			ctx, done, err := c.inject(ctx, h)
 			if err != nil {

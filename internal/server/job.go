@@ -96,7 +96,7 @@ type Job struct {
 
 	mu         sync.Mutex
 	state      JobState
-	stage      string // ladder rung that served the result ("flow", "gfm", "salvage")
+	stage      string // ladder rung that served the result ("multilevel", "flow", "gfm", "salvage")
 	stop       anytime.Stop
 	cost       float64
 	attempts   int

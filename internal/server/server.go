@@ -5,7 +5,8 @@
 //   - admission control: a bounded queue and worker pool, per-job node-count
 //     budgets, and 429 + Retry-After under overload;
 //   - deadline-budgeted degradation: each job's wall-clock budget is divided
-//     across a ladder (FLOW -> GFM -> metric salvage), every rung's result
+//     across a ladder (FLOW -> GFM -> metric salvage; instances at or above
+//     MultilevelNodes get a leading multilevel V-cycle rung), every rung's result
 //     re-certified by internal/verify before it is served;
 //   - retry with jittered exponential backoff for transient failures and
 //     fail-fast for permanent ones;
@@ -73,6 +74,10 @@ type Config struct {
 	// MaxNodes is the per-job node-count budget, the daemon's memory guard:
 	// instances above it are rejected 413 at admission (default 1<<20).
 	MaxNodes int
+	// MultilevelNodes is the instance size at which the degradation ladder
+	// gains a leading multilevel V-cycle rung (multilevel -> FLOW -> GFM ->
+	// salvage); smaller jobs keep the flat ladder. Default 1<<15.
+	MultilevelNodes int
 	// DefaultBudget and MaxBudget bound a job's wall-clock deadline budget
 	// (defaults 30s and 5m).
 	DefaultBudget time.Duration
@@ -102,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = 1 << 20
+	}
+	if c.MultilevelNodes <= 0 {
+		c.MultilevelNodes = 1 << 15
 	}
 	if c.DefaultBudget <= 0 {
 		c.DefaultBudget = 30 * time.Second

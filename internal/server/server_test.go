@@ -376,6 +376,68 @@ func TestDegradationFallsToGFM(t *testing.T) {
 	}
 }
 
+// TestMultilevelLadderAboveThreshold pins the size-based ladder switch: a
+// job at or above MultilevelNodes is served by the leading multilevel rung
+// (still certified), while a smaller job keeps the flat ladder.
+func TestMultilevelLadderAboveThreshold(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:         1,
+		DefaultBudget:   20 * time.Second,
+		MultilevelNodes: 64,
+	})
+	big := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 96), Height: 3})
+	small := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 32), Height: 3})
+	vb := waitTerminal(t, ts, big, 30*time.Second)
+	if vb.State != StateDone {
+		t.Fatalf("big job state %q (error %q), want done", vb.State, vb.Error)
+	}
+	if vb.Stage != "multilevel" {
+		t.Fatalf("big job stage = %q, want multilevel", vb.Stage)
+	}
+	if !vb.Verified {
+		t.Fatal("multilevel result not marked verified")
+	}
+	vs := waitTerminal(t, ts, small, 30*time.Second)
+	if vs.State != StateDone {
+		t.Fatalf("small job state %q (error %q), want done", vs.State, vs.Error)
+	}
+	if vs.Stage != "flow" {
+		t.Fatalf("small job stage = %q, want flow", vs.Stage)
+	}
+}
+
+// TestMultilevelLadderDegrades pins that a failing multilevel rung falls
+// back to flat FLOW rather than failing the job.
+func TestMultilevelLadderDegrades(t *testing.T) {
+	real := RealSolvers()
+	_, ts := newTestServer(t, Config{
+		Workers:         1,
+		MaxAttempts:     2,
+		BaseBackoff:     time.Millisecond,
+		DefaultBudget:   20 * time.Second,
+		MultilevelNodes: 64,
+		Solvers: &Solvers{
+			Multilevel: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.MultilevelOptions) (*htp.Result, error) {
+				return nil, errors.New("synthetic multilevel failure")
+			},
+			Flow:    real.Flow,
+			GFM:     real.GFM,
+			Salvage: real.Salvage,
+		},
+	})
+	id := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 96), Height: 3})
+	v := waitTerminal(t, ts, id, 30*time.Second)
+	if v.State != StateDone {
+		t.Fatalf("state %q (error %q), want done", v.State, v.Error)
+	}
+	if v.Stage != "flow" {
+		t.Fatalf("stage = %q, want flow", v.Stage)
+	}
+	if v.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", v.Degradations)
+	}
+}
+
 func TestPermanentErrorFailsFast(t *testing.T) {
 	real := RealSolvers()
 	gfmCalled := make(chan struct{}, 1)

@@ -22,17 +22,19 @@ import (
 // deadline or cancellation it returns the best certified-able result found
 // so far, erroring only when nothing valid exists.
 type Solvers struct {
-	Flow    func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error)
-	GFM     func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error)
-	Salvage func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error)
+	Multilevel func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.MultilevelOptions) (*htp.Result, error)
+	Flow       func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error)
+	GFM        func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error)
+	Salvage    func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error)
 }
 
 // RealSolvers returns the production entry points.
 func RealSolvers() *Solvers {
 	return &Solvers{
-		Flow:    htp.FlowCtx,
-		GFM:     htp.GFMCtx,
-		Salvage: metricSalvage,
+		Multilevel: htp.MultilevelCtx,
+		Flow:       htp.FlowCtx,
+		GFM:        htp.GFMCtx,
+		Salvage:    metricSalvage,
 	}
 }
 
@@ -85,6 +87,25 @@ var ladder = []rung{
 	{name: "salvage", frac: 1.00},
 }
 
+// bigLadder serves jobs at or above Config.MultilevelNodes: flat FLOW's
+// metric engine is superlinear in instance size, so the V-cycle goes first
+// and the flat rungs become fallbacks. Every rung still passes the same
+// certification gate before its result is served.
+var bigLadder = []rung{
+	{name: "multilevel", frac: 0.55},
+	{name: "flow", frac: 0.75},
+	{name: "gfm", frac: 0.90},
+	{name: "salvage", frac: 1.00},
+}
+
+// ladderFor picks the degradation ladder for a job by instance size.
+func (s *Server) ladderFor(j *Job) []rung {
+	if s.solvers.Multilevel != nil && j.h.NumNodes() >= s.cfg.MultilevelNodes {
+		return bigLadder
+	}
+	return ladder
+}
+
 // solveOutcome is what the ladder hands back to the worker.
 type solveOutcome struct {
 	res      *htp.Result
@@ -123,7 +144,8 @@ func (s *Server) solveJob(ctx context.Context, j *Job) solveOutcome {
 	jitter := rand.New(rand.NewSource(j.Spec.Seed ^ 0x5eed))
 
 	var lastErr error
-	for ri, r := range ladder {
+	rungs := s.ladderFor(j)
+	for ri, r := range rungs {
 		rungDeadline := start.Add(time.Duration(float64(budget) * r.frac))
 		rctx, cancel := context.WithDeadline(ctx, rungDeadline)
 
@@ -166,7 +188,7 @@ func (s *Server) solveJob(ctx context.Context, j *Job) solveOutcome {
 			// degrading further.
 			break
 		}
-		if ri < len(ladder)-1 {
+		if ri < len(rungs)-1 {
 			cDegradations.Add(1)
 		}
 	}
@@ -192,6 +214,11 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, rungName string, seed i
 	// served (the PR-3 composition pattern for "+" pipelines).
 	o := obs.SuppressStop(j.hub)
 	switch rungName {
+	case "multilevel":
+		return s.solvers.Multilevel(ctx, j.h, j.pspec, htp.MultilevelOptions{
+			Seed:     seed,
+			Observer: o,
+		})
 	case "flow":
 		return s.solvers.Flow(ctx, j.h, j.pspec, htp.FlowOptions{
 			Iterations: j.Spec.Iters,
