@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck race check bench bench-ml smoke-ml verify verify-quick loadtest chaos
+.PHONY: build test vet lint staticcheck race check bench bench-ml benchdiff smoke-ml verify verify-quick loadtest chaos
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,15 @@ bench:
 # records land in BENCH_alg2.json via `make bench`.
 bench-ml:
 	$(GO) test -run=NONE -bench=MultilevelScaling -benchmem -timeout 3600s .
+
+# Benchmark regression gate: re-run the Algorithm 2 scaling benchmarks once
+# and diff allocation counts against the committed baseline. allocs/op is
+# deterministic even at -benchtime=1x (where ns/op is pure noise), so the
+# tolerance is zero: any new allocation on the metric hot path fails.
+benchdiff:
+	$(GO) test -run=NONE -bench=Alg2Scaling -benchtime=1x -benchmem -timeout 900s . \
+		| $(GO) run ./cmd/benchjson -o /tmp/htp-bench-head.json
+	$(GO) run ./cmd/benchdiff -metric allocs/op -tolerance 0 BENCH_alg2.json /tmp/htp-bench-head.json
 
 # End-to-end large-instance smoke: stream-generate a 65536-gate netlist,
 # solve it with the multilevel V-cycle under a deadline, and (as htpart

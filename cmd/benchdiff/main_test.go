@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) *Report { return &Report{Results: results} }
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Iters: 1, Metrics: metrics}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := report(
+		res("BenchmarkA/n128", map[string]float64{"allocs/op": 26, "ns/op": 1000}),
+		res("BenchmarkA/n512", map[string]float64{"allocs/op": 30, "ns/op": 5000}),
+		res("BenchmarkGone", map[string]float64{"allocs/op": 1}),
+	)
+	cur := report(
+		res("BenchmarkA/n128", map[string]float64{"allocs/op": 26, "ns/op": 9000}), // ns ignored: not watched
+		res("BenchmarkA/n512", map[string]float64{"allocs/op": 45, "ns/op": 5000}), // +50% allocs: regression
+		res("BenchmarkNew", map[string]float64{"allocs/op": 2}),
+	)
+	var b strings.Builder
+	got := diff(&b, base, cur, []string{"allocs/op"}, 0.10)
+	if got != 1 {
+		t.Fatalf("diff found %d regressions, want 1\n%s", got, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"REGRESSION", "+50.0%", "gone", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ns/op") {
+		t.Errorf("unwatched metric leaked into the table:\n%s", out)
+	}
+}
+
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	base := report(res("B", map[string]float64{"allocs/op": 100}))
+	cur := report(res("B", map[string]float64{"allocs/op": 104}))
+	var b strings.Builder
+	if got := diff(&b, base, cur, []string{"allocs/op"}, 0.05); got != 0 {
+		t.Fatalf("a +4%% delta under 5%% tolerance regressed: %d\n%s", got, b.String())
+	}
+	// Improvements never fail, whatever the tolerance.
+	if got := diff(&b, cur, base, []string{"allocs/op"}, 0); got != 0 {
+		t.Fatalf("an improvement counted as regression: %d", got)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := report(res("Z", map[string]float64{"allocs/op": 0}))
+	cur := report(res("Z", map[string]float64{"allocs/op": 3}))
+	var b strings.Builder
+	if got := diff(&b, base, cur, []string{"allocs/op"}, 0.50); got != 1 {
+		t.Fatalf("0 -> 3 allocs must regress regardless of relative tolerance: %d", got)
+	}
+	if !strings.Contains(b.String(), "+inf") {
+		t.Errorf("zero-baseline delta not marked +inf:\n%s", b.String())
+	}
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -36,18 +37,20 @@ import (
 	"repro/internal/inject"
 	"repro/internal/metric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/verify"
 )
 
 var (
-	quick    = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
-	seed     = flag.Int64("seed", 1, "master random seed")
-	flowN    = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
-	workers  = flag.Int("workers", 1, "concurrent tree growths in Algorithm 2; 1 = exact sequential (the recorded runs), 0 = NumCPU")
-	timeout  = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited")
-	trace    = flag.String("trace", "", "write JSONL trace events from every solver call to this file")
-	logLevel = flag.String("log-level", "", "log trace events to stderr via slog: debug, info, warn, error")
-	report   = flag.String("report", "", "write an aggregate JSON report (all solver calls) to this file on exit")
+	quick      = flag.Bool("quick", false, "use the two smallest circuits and fewer iterations")
+	seed       = flag.Int64("seed", 1, "master random seed")
+	flowN      = flag.Int("n", 4, "FLOW iterations (Algorithm 1's N)")
+	workers    = flag.Int("workers", 1, "concurrent tree growths in Algorithm 2; 1 = exact sequential (the recorded runs), 0 = NumCPU")
+	timeout    = flag.Duration("timeout", 0, "wall-clock budget; 0 = unlimited")
+	trace      = flag.String("trace", "", "write JSONL trace events from every solver call to this file")
+	logLevel   = flag.String("log-level", "", "log trace events to stderr via slog: debug, info, warn, error")
+	report     = flag.String("report", "", "write an aggregate JSON report (all solver calls) to this file on exit")
+	metricsOut = flag.String("metrics-dump", "", "write the final process metrics snapshot (Prometheus text exposition, incl. htp.* counters) to this file on exit")
 
 	// runCtx governs every solver call; set in main, cancelled by -timeout
 	// or SIGINT.
@@ -94,6 +97,21 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 	defer profiles(*cpuprofile, *memprofile)()
+
+	if *metricsOut != "" {
+		// Snapshot at exit, after every solver call ticked the htp.*
+		// counters — the same exposition document htpd serves on /metrics.
+		defer func() {
+			var b bytes.Buffer
+			err := metrics.WriteProcessMetrics(&b)
+			if err == nil {
+				err = os.WriteFile(*metricsOut, b.Bytes(), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: metrics-dump:", err)
+			}
+		}()
+	}
 
 	var sinks []obs.Observer
 	var collector *obs.Collector

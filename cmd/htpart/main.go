@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/metric"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/verify"
 )
 
@@ -69,6 +71,7 @@ func main() {
 		report     = flag.String("report", "", "write a per-run JSON report to this file")
 		lbRounds   = flag.Int("lb", 0, "cutting-plane rounds for the LP lower bound in the report/output (0 = skip; small instances only)")
 		save       = flag.String("save", "", "write the partition dump (JSON) to this file for later htpcheck -partition verification")
+		metricsOut = flag.String("metrics-dump", "", "write the final process metrics snapshot (Prometheus text exposition, incl. htp.* counters) to this file")
 		ml         = flag.Bool("multilevel", false, "solve via the multilevel V-cycle: coarsen, run -algo on the coarsest level, uncoarsen with per-level refinement")
 		coarsenTgt = flag.Int("coarsen-target", 300, "with -multilevel: node count at which coarsening stops")
 	)
@@ -330,6 +333,22 @@ func main() {
 	if *printTree {
 		fmt.Print(res.Partition.String())
 	}
+	if *metricsOut != "" {
+		if err := writeMetricsDump(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "htpart: metrics-dump:", err)
+		}
+	}
+}
+
+// writeMetricsDump snapshots the process metrics in the same exposition
+// format htpd serves at GET /metrics, so a batch run leaves a scrapeable
+// record next to its -report.
+func writeMetricsDump(path string) error {
+	var b bytes.Buffer
+	if err := metrics.WriteProcessMetrics(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b.Bytes(), 0o644)
 }
 
 // runReport is the -report JSON document: run identity and headline numbers

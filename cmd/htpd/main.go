@@ -17,7 +17,12 @@
 //	POST /jobs/{id}/cancel   cancel; a running job keeps its best-so-far
 //	GET  /jobs/{id}/events   SSE stream of solver telemetry
 //	GET  /healthz            liveness + queue depth
+//	GET  /metrics            Prometheus text exposition (histograms + counters)
 //	GET  /debug/vars         expvar counters (htpd.* and htp.*)
+//
+// With -trace, every job's full solver telemetry is appended to a JSONL
+// file, tagged with the job ID and span identity — feed it to htptrace for
+// per-phase time breakdowns and flamegraph output.
 //
 // Overloaded submits get 429 with a Retry-After hint; instances over the
 // node budget get 413. On SIGINT/SIGTERM the daemon stops admitting,
@@ -37,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -52,6 +58,7 @@ func main() {
 		attempts = flag.Int("attempts", 3, "max solver attempts per degradation rung")
 		backoff  = flag.Duration("backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt)")
 		journal  = flag.String("journal", "", "append-only JSONL job journal (enables restart recovery)")
+		trace    = flag.String("trace", "", "append solver telemetry for all jobs to this JSONL file (htptrace input)")
 		results  = flag.String("results", "", "directory for atomically persisted result dumps")
 		logLevel = flag.String("log-level", "info", "slog level: debug, info, warn, error")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
@@ -69,7 +76,7 @@ func main() {
 		JournalPath:     *journal,
 		ResultDir:       *results,
 		Logger:          newLogger(*logLevel),
-	}, *drain); err != nil {
+	}, *trace, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "htpd: %v\n", err)
 		os.Exit(1)
 	}
@@ -83,15 +90,37 @@ func newLogger(level string) *slog.Logger {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l}))
 }
 
-func run(addr string, cfg server.Config, drain time.Duration) error {
+func run(addr string, cfg server.Config, tracePath string, drain time.Duration) error {
 	if cfg.ResultDir != "" {
 		if err := os.MkdirAll(cfg.ResultDir, 0o755); err != nil {
 			return fmt.Errorf("creating result dir: %w", err)
 		}
 	}
+	// The trace file gets the complete stream, so its funnel BLOCKS when
+	// the disk cannot keep up (solver latency is already shielded by the
+	// per-job dropping funnels feeding the SSE hub). Closed only after the
+	// pool drains, when no emitter remains.
+	flushTrace := func() error { return nil }
+	if tracePath != "" {
+		f, err := os.OpenFile(tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		sink := obs.NewJSONLSink(f)
+		funnel := obs.NewFunnel(sink)
+		cfg.Trace = funnel
+		flushTrace = func() error {
+			funnel.Close()
+			err := sink.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
 	s, err := server.New(cfg)
 	if err != nil {
-		return err
+		return errors.Join(err, flushTrace())
 	}
 	s.Start()
 
@@ -115,10 +144,8 @@ func run(addr string, cfg server.Config, drain time.Duration) error {
 		// Listener died on its own; still drain the pool before exiting.
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		if serr := s.Shutdown(ctx); serr != nil {
-			return errors.Join(err, serr)
-		}
-		return err
+		serr := s.Shutdown(ctx)
+		return errors.Join(err, serr, flushTrace())
 	case <-sigCtx.Done():
 	}
 
@@ -127,8 +154,8 @@ func run(addr string, cfg server.Config, drain time.Duration) error {
 	defer cancel()
 	herr := httpSrv.Shutdown(ctx)
 	serr := s.Shutdown(ctx)
-	if herr != nil || serr != nil {
-		return errors.Join(herr, serr)
+	if err := errors.Join(herr, serr, flushTrace()); err != nil {
+		return err
 	}
 	cfg.Logger.Info("htpd stopped")
 	return nil

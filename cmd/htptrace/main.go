@@ -1,0 +1,336 @@
+// Command htptrace reconstructs where a solver run spent its time from a
+// JSONL trace (`htpart -trace run.jsonl`, `htpd -trace daemon.jsonl`).
+//
+// Events carry span identity — every solver layer that owns a phase mints
+// one span ID under its caller's — so the flat event stream folds back into
+// the tree of nested phases. htptrace renders that tree two ways:
+//
+//   - the default per-phase table: for each phase name, how many spans it
+//     covered, total time (the phase and everything nested in it), self
+//     time (total minus nested phases), share of the run, and the last
+//     partition cost the phase reported;
+//   - with -fold, folded stacks ("root;coarsen;coarsen-level-3 1234", one
+//     line per tree path, self-microseconds as the value) — the input
+//     format of standard flamegraph tooling.
+//
+// Daemon traces interleave many jobs; every event is tagged with its job
+// ID, so htptrace reports each job separately, and -job follows just one.
+//
+// Usage:
+//
+//	htptrace [-fold] [-job j-000042] trace.jsonl
+//	htpd -trace d.jsonl & ... ; htptrace -job j-000001 d.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		fold = flag.Bool("fold", false, "emit folded stacks (flamegraph input) instead of the table")
+		job  = flag.String("job", "", "follow a single htpd job ID")
+	)
+	flag.Parse()
+	if err := run(flag.Arg(0), *job, *fold, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "htptrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, job string, fold bool, w io.Writer) error {
+	var r io.Reader
+	if path == "" || path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	trees, err := readTrees(r, job)
+	if err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		if job != "" {
+			return fmt.Errorf("no events for job %q", job)
+		}
+		return fmt.Errorf("no events in trace")
+	}
+	for i, tr := range trees {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if fold {
+			tr.writeFolded(w)
+		} else {
+			tr.writeTable(w)
+		}
+	}
+	return nil
+}
+
+// node is one span of the reconstructed tree.
+type node struct {
+	span, parent obs.SpanID
+	name         string
+	nameRank     int
+	ownMS        float64 // largest ElapsedMS any event reported for this span
+	cost         float64 // last cost an event on this span reported
+	events       int
+	children     []*node
+	totalMS      float64 // max(ownMS, sum of child totals)
+	selfMS       float64 // totalMS minus child totals, clamped at 0
+}
+
+// tree is one run's (or one htpd job's) span tree.
+type tree struct {
+	job       string
+	nodes     map[obs.SpanID]*node
+	roots     []*node
+	untracked int // events with no span identity (telemetry not threaded)
+	wallMS    float64
+}
+
+// readTrees decodes the JSONL stream and folds it into one tree per job
+// (standalone runs have no job tag and share the "" tree). jobFilter keeps
+// only that job's events when non-empty.
+func readTrees(r io.Reader, jobFilter string) ([]*tree, error) {
+	byJob := map[string]*tree{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if jobFilter != "" && e.Job != jobFilter {
+			continue
+		}
+		tr := byJob[e.Job]
+		if tr == nil {
+			tr = &tree{job: e.Job, nodes: map[obs.SpanID]*node{}}
+			byJob[e.Job] = tr
+			order = append(order, e.Job)
+		}
+		tr.add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	trees := make([]*tree, 0, len(byJob))
+	for _, j := range order {
+		tr := byJob[j]
+		tr.finalize()
+		trees = append(trees, tr)
+	}
+	return trees, nil
+}
+
+func (t *tree) add(e obs.Event) {
+	if e.Span == 0 {
+		t.untracked++
+		return
+	}
+	n := t.nodes[e.Span]
+	if n == nil {
+		n = &node{span: e.Span}
+		t.nodes[e.Span] = n
+	}
+	n.events++
+	if e.Parent != 0 {
+		n.parent = e.Parent
+	}
+	if e.ElapsedMS > n.ownMS {
+		n.ownMS = e.ElapsedMS
+	}
+	if e.Cost != 0 {
+		n.cost = e.Cost
+	}
+	if name, rank := phaseName(e); rank > n.nameRank {
+		n.name, n.nameRank = name, rank
+	}
+}
+
+// phaseName maps an event to a name candidate for its span and a rank:
+// explicit phase completions name a span authoritatively, generic progress
+// events only as a fallback. Equal-rank candidates keep the first seen.
+func phaseName(e obs.Event) (string, int) {
+	switch e.Kind {
+	case obs.KindSpan:
+		return e.Phase, 5
+	case obs.KindStop:
+		return "run", 4
+	case obs.KindLevel:
+		return fmt.Sprintf("%s-level-%d", e.Phase, e.Round), 3
+	case obs.KindIterDone:
+		return "iter", 3
+	case obs.KindMetricDone, obs.KindMetricRound:
+		return "metric", 2
+	case obs.KindBuildDone:
+		return "build", 2
+	case obs.KindSalvage:
+		return "salvage", 2
+	case obs.KindRefinePass:
+		return "refine", 1
+	}
+	return "span", 0
+}
+
+// finalize links parents to children and computes total/self bottom-up.
+// Span IDs are minted parent-first (Parent < Span on every event), so the
+// tree is acyclic by construction and a reverse-ID sweep is post-order.
+func (t *tree) finalize() {
+	ids := make([]obs.SpanID, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := t.nodes[id]
+		if n.name == "" {
+			n.name = fmt.Sprintf("span-%d", n.span)
+		}
+		if p := t.nodes[n.parent]; p != nil && n.parent != n.span {
+			p.children = append(p.children, n)
+		} else {
+			t.roots = append(t.roots, n)
+		}
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		n := t.nodes[ids[i]]
+		var kids float64
+		for _, c := range n.children {
+			kids += c.totalMS
+		}
+		n.totalMS = n.ownMS
+		if kids > n.totalMS {
+			n.totalMS = kids
+		}
+		n.selfMS = n.totalMS - kids
+		if n.selfMS < 0 {
+			n.selfMS = 0
+		}
+	}
+	for _, r := range t.roots {
+		t.wallMS += r.totalMS
+	}
+}
+
+func (t *tree) header() string {
+	if t.job != "" {
+		return "job " + t.job
+	}
+	return "trace"
+}
+
+// writeTable renders the per-phase aggregate: spans sharing a name (every
+// FLOW iteration, every coarsening level) fold into one row.
+func (t *tree) writeTable(w io.Writer) {
+	type row struct {
+		name          string
+		spans, events int
+		total, self   float64
+		cost          float64
+	}
+	agg := map[string]*row{}
+	var names []string
+	var walk func(n *node)
+	walk = func(n *node) {
+		r := agg[n.name]
+		if r == nil {
+			r = &row{name: n.name}
+			agg[n.name] = r
+			names = append(names, n.name)
+		}
+		r.spans++
+		r.events += n.events
+		r.total += n.totalMS
+		r.self += n.selfMS
+		if n.cost != 0 {
+			r.cost = n.cost
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := agg[names[i]], agg[names[j]]
+		if a.total != b.total {
+			return a.total > b.total
+		}
+		return a.name < b.name
+	})
+	fmt.Fprintf(w, "%s: %.1f ms across %d spans (%d events", t.header(), t.wallMS, len(t.nodes), t.eventCount())
+	if t.untracked > 0 {
+		fmt.Fprintf(w, ", %d without span identity", t.untracked)
+	}
+	fmt.Fprintf(w, ")\n")
+	fmt.Fprintf(w, "%-24s %6s %9s %12s %12s %7s %12s\n",
+		"phase", "spans", "events", "total(ms)", "self(ms)", "self%", "cost")
+	for _, name := range names {
+		r := agg[name]
+		pct := 0.0
+		if t.wallMS > 0 {
+			pct = 100 * r.self / t.wallMS
+		}
+		cost := ""
+		if r.cost != 0 {
+			cost = fmt.Sprintf("%.4g", r.cost)
+		}
+		fmt.Fprintf(w, "%-24s %6d %9d %12.1f %12.1f %6.1f%% %12s\n",
+			r.name, r.spans, r.events, r.total, r.self, pct, cost)
+	}
+}
+
+func (t *tree) eventCount() int {
+	n := t.untracked
+	for _, nd := range t.nodes {
+		n += nd.events
+	}
+	return n
+}
+
+// writeFolded renders the tree as folded stacks: one line per path with
+// the node's self time in integer microseconds, the input flamegraph
+// tooling expects. Zero-self frames are kept only when they have no
+// children (so empty leaves still show up).
+func (t *tree) writeFolded(w io.Writer) {
+	base := t.header()
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		path := prefix + ";" + n.name
+		us := int64(n.selfMS * 1000)
+		if us > 0 || len(n.children) == 0 {
+			fmt.Fprintf(w, "%s %d\n", path, us)
+		}
+		for _, c := range n.children {
+			walk(c, path)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, base)
+	}
+}

@@ -26,6 +26,10 @@ type BoundaryOptions struct {
 	// Observer receives one refine-pass event per pass and a terminal
 	// "refine-boundary" span. Nil disables telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the refinement's events in the caller's span tree —
+	// multilevel uncoarsening scopes each level's refinement under that
+	// level's span. Zero value is fine.
+	Span obs.SpanScope
 }
 
 func (o BoundaryOptions) withDefaults() BoundaryOptions {
@@ -61,6 +65,7 @@ func (o BoundaryOptions) withDefaults() BoundaryOptions {
 // final cost and total improvement (initial − final ≥ 0).
 func RefineBoundaryCtx(ctx context.Context, p *hierarchy.Partition, opt BoundaryOptions) (cost, improvement float64) {
 	opt = opt.withDefaults()
+	_, opt.Observer = opt.Span.Enter(opt.Observer)
 	cs := hierarchy.NewCostState(p)
 	initial := cs.Cost()
 

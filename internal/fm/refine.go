@@ -21,6 +21,9 @@ type RefineOptions struct {
 	// *Plus solvers forward their run observer here automatically. Nil
 	// disables telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the refinement's events in the caller's span tree (one
+	// child span per RefineHierarchicalCtx run). Zero value is fine.
+	Span obs.SpanScope
 }
 
 func (o RefineOptions) withDefaults() RefineOptions {
@@ -54,6 +57,7 @@ func RefineHierarchical(p *hierarchy.Partition, opt RefineOptions) (cost, improv
 // the best cost reached — a pure anytime improver.
 func RefineHierarchicalCtx(ctx context.Context, p *hierarchy.Partition, opt RefineOptions) (cost, improvement float64) {
 	opt = opt.withDefaults()
+	_, opt.Observer = opt.Span.Enter(opt.Observer)
 	cs := hierarchy.NewCostState(p)
 	initial := cs.Cost()
 

@@ -70,6 +70,13 @@ type FlowOptions struct {
 	// With Parallel set, events are funnelled through one goroutine, so
 	// the observer needs no locking. Nil disables telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the run's events in the caller's span tree: the run
+	// enters one span, each iteration mints a child (pre-drawn in
+	// canonical order, so IDs are independent of Parallel scheduling),
+	// and the metric engine nests below the iteration. Span IDs come
+	// from a plain counter, never the run's seeds, so tracing cannot
+	// perturb results. Zero value is fine.
+	Span obs.SpanScope
 	// Progress, if non-nil, is called with coarse progress snapshots
 	// (phase, round, best cost) at round-level frequency — a lightweight
 	// alternative to a full Observer for live display. Called from a
@@ -149,6 +156,19 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 			sink = funnel
 		}
 	}
+	// Span identity: the run enters one span (stamped on run-level events
+	// — best updates and the stop) and pre-mints one child span per
+	// iteration in canonical order, so span IDs are identical between
+	// sequential and Parallel runs. All skipped when telemetry is off.
+	var scope obs.SpanScope
+	scope, sink = opt.Span.Enter(sink)
+	var iterSpans []obs.SpanID
+	if sink != nil {
+		iterSpans = make([]obs.SpanID, opt.Iterations)
+		for i := range iterSpans {
+			iterSpans[i] = scope.Mint()
+		}
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	type iterSeeds struct {
@@ -181,12 +201,16 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 		}
 		iterObs := obs.WithIter(sink, i+1)
 		var it0 time.Time
+		var iterSpan obs.SpanID
 		if iterObs != nil {
+			iterSpan = iterSpans[i]
+			iterObs = obs.WithSpan(iterObs, iterSpan, scope.Parent)
 			it0 = time.Now()
 		}
 		injOpt := opt.Inject
 		injOpt.Rng = rand.New(rand.NewSource(seeds[i].inject))
 		injOpt.Observer = iterObs
+		injOpt.Span = obs.SpanScope{Ctx: scope.Ctx, Parent: iterSpan}
 		m, st, err := inject.ComputeMetricCtx(ctx, h, spec, injOpt)
 		if m != nil {
 			out.stats, out.ranMetric = st, true
@@ -405,11 +429,14 @@ func FlowPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.S
 	// stop is suppressed and one stop is emitted after refinement, keeping
 	// the exactly-one-stop-last trace contract for "+" runs too.
 	sink := obs.Multi(opt.Observer, obs.ProgressObserver(opt.Progress))
+	var scope obs.SpanScope
+	scope, sink = opt.Span.Enter(sink)
 	var start time.Time
 	if sink != nil {
 		start = time.Now()
 		opt.Observer = obs.SuppressStop(sink)
 		opt.Progress = nil
+		opt.Span = scope // constructive stage nests under the "+" run span
 	}
 	res, err := FlowCtx(ctx, h, spec, opt)
 	if err != nil {
@@ -422,6 +449,7 @@ func FlowPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.S
 	}
 	if ref.Observer == nil {
 		ref.Observer = sink
+		ref.Span = scope
 	}
 	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost

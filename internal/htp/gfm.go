@@ -25,6 +25,9 @@ type GFMOptions struct {
 	// terminal stop trace events (see internal/obs); GFMPlus forwards it
 	// to refinement. Nil disables telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the run's events in the caller's span tree (one span
+	// for the whole GFM run). Zero value is fine.
+	Span obs.SpanScope
 }
 
 // gfmGroup is a cluster of lower-level blocks being grown bottom-up.
@@ -58,6 +61,7 @@ func GFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	_, opt.Observer = opt.Span.Enter(opt.Observer)
 	fmOpt := opt.FM
 	if fmOpt.Rng == nil {
 		fmOpt.Rng = rand.New(rand.NewSource(opt.Seed))
@@ -329,10 +333,13 @@ func GFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref 
 func GFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt GFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
 	// The composed run owns the terminal stop (see FlowPlusCtx).
 	sink := opt.Observer
+	var scope obs.SpanScope
+	scope, sink = opt.Span.Enter(sink)
 	var start time.Time
 	if sink != nil {
 		start = time.Now()
 		opt.Observer = obs.SuppressStop(sink)
+		opt.Span = scope
 	}
 	res, err := GFMCtx(ctx, h, spec, opt)
 	if err != nil {
@@ -345,6 +352,7 @@ func GFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Sp
 	}
 	if ref.Observer == nil {
 		ref.Observer = sink
+		ref.Span = scope
 	}
 	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost

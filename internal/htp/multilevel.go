@@ -62,6 +62,11 @@ type MultilevelOptions struct {
 	Observer obs.Observer
 	// Progress mirrors FlowOptions.Progress.
 	Progress obs.ProgressFunc
+	// Span nests the run's events in the caller's span tree: the V-cycle
+	// enters one run span with coarsen/construct/uncoarsen child spans,
+	// per-level spans below those, and the coarse strategy's own tree
+	// below construct. Zero value is fine.
+	Span obs.SpanScope
 }
 
 func (o MultilevelOptions) withDefaults() MultilevelOptions {
@@ -180,6 +185,8 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 	}
 
 	sink := obs.Multi(opt.Observer, obs.ProgressObserver(opt.Progress))
+	var scope obs.SpanScope
+	scope, sink = opt.Span.Enter(sink)
 	var start time.Time
 	if sink != nil {
 		start = time.Now()
@@ -196,8 +203,10 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 		}
 	}
 	var ct0 time.Time
+	var coarsenSpan obs.SpanID
 	if sink != nil {
 		ct0 = time.Now()
+		coarsenSpan = scope.Mint()
 	}
 	stack, err := multilevel.Coarsen(ctx, h, multilevel.CoarsenOptions{
 		TargetNodes:    opt.CoarsenTarget,
@@ -205,6 +214,7 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 		Workers:        opt.Workers,
 		Seed:           opt.Seed,
 		Observer:       sink,
+		Span:           obs.SpanScope{Ctx: scope.Ctx, Parent: coarsenSpan},
 	})
 	if err != nil {
 		emitStop(sink, "error", 0, start, err)
@@ -212,6 +222,7 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 	}
 	if sink != nil {
 		obs.Emit(sink, obs.Event{Kind: obs.KindSpan, Phase: "coarsen",
+			Span: coarsenSpan, Parent: scope.Parent,
 			ElapsedMS: obs.Millis(time.Since(ct0)),
 			Detail:    fmt.Sprintf("%d levels, coarsest %d nodes", len(stack.Levels), stack.Coarsest().NumNodes())})
 	}
@@ -256,6 +267,17 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 	if (opt.Strategy == "gfm" || opt.Strategy == "gfm+") && opt.GFM.Seed == 0 {
 		opt.GFM.Seed = opt.Seed
 	}
+	// The construct phase owns one child span; the strategy's own span tree
+	// nests below it (its Options.Span must be set BEFORE the stage closure
+	// re-resolves and captures the receiver copy).
+	var st0 time.Time
+	var constructSpan obs.SpanID
+	if sink != nil {
+		st0 = time.Now()
+		constructSpan = scope.Mint()
+	}
+	stageScope := obs.SpanScope{Ctx: scope.Ctx, Parent: constructSpan}
+	opt.Flow.Span, opt.RFM.Span, opt.GFM.Span = stageScope, stageScope, stageScope
 	if opt.Stage != nil {
 		stage = opt.Stage
 	} else if stage, err = opt.stage(); err != nil {
@@ -269,7 +291,10 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 	// spec is feasible at all — so on a non-cancellation construction
 	// failure the engine drops the coarsest level and re-runs the stage one
 	// level finer. Uncoarsening then starts from whatever level solved.
-	res, err := stage(ctx, stack.Coarsest(), spec, obs.SuppressStop(sink))
+	// stageObs tags anything the strategy leaves unstamped (custom Stage
+	// implementations without span support) with the construct span.
+	stageObs := obs.WithSpan(obs.SuppressStop(sink), constructSpan, scope.Parent)
+	res, err := stage(ctx, stack.Coarsest(), spec, stageObs)
 	for err != nil && errors.Is(err, anytime.ErrNoPartition) && ctx.Err() == nil && len(stack.Levels) > 0 {
 		stack.Levels = stack.Levels[:len(stack.Levels)-1]
 		if sink != nil {
@@ -277,21 +302,39 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 				Active: stack.Coarsest().NumNodes(),
 				Detail: "coarsest level unpackable; retrying one level finer"})
 		}
-		res, err = stage(ctx, stack.Coarsest(), spec, obs.SuppressStop(sink))
+		res, err = stage(ctx, stack.Coarsest(), spec, stageObs)
 	}
 	if err != nil {
 		emitStop(sink, "error", 0, start, err)
 		return nil, err
 	}
+	if sink != nil {
+		obs.Emit(sink, obs.Event{Kind: obs.KindSpan, Phase: "construct",
+			Span: constructSpan, Parent: scope.Parent, Cost: res.Cost,
+			Active: stack.Coarsest().NumNodes(), Detail: opt.Strategy,
+			ElapsedMS: obs.Millis(time.Since(st0))})
+	}
 
+	var ut0 time.Time
+	var uncoarsenSpan obs.SpanID
+	if sink != nil {
+		ut0 = time.Now()
+		uncoarsenSpan = scope.Mint()
+	}
 	p, cost, salvagedLevels, err := stack.Uncoarsen(ctx, res.Partition, res.Cost, multilevel.UncoarsenOptions{
 		MaxPasses: opt.RefinePasses,
 		Seed:      opt.Seed + 11,
 		Observer:  sink,
+		Span:      obs.SpanScope{Ctx: scope.Ctx, Parent: uncoarsenSpan},
 	})
 	if err != nil {
 		emitStop(sink, "error", 0, start, err)
 		return nil, err
+	}
+	if sink != nil {
+		obs.Emit(sink, obs.Event{Kind: obs.KindSpan, Phase: "uncoarsen",
+			Span: uncoarsenSpan, Parent: scope.Parent, Cost: cost,
+			ElapsedMS: obs.Millis(time.Since(ut0))})
 	}
 	if salvagedLevels > 0 {
 		obs.Salvages.Add(1)

@@ -26,6 +26,9 @@ type RFMOptions struct {
 	// internal/obs); RFMPlus forwards it to refinement. Nil disables
 	// telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the run's events in the caller's span tree (one span
+	// for the whole RFM run). Zero value is fine.
+	Span obs.SpanScope
 }
 
 // RFM is the top-down recursive baseline of Kuo, Liu & Cheng (DAC'96): the
@@ -46,6 +49,7 @@ func RFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	_, opt.Observer = opt.Span.Enter(opt.Observer)
 	var t0 time.Time
 	if opt.Observer != nil {
 		t0 = time.Now()
@@ -90,10 +94,13 @@ func RFMPlus(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref 
 func RFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt RFMOptions, ref fm.RefineOptions) (*Result, float64, error) {
 	// The composed run owns the terminal stop (see FlowPlusCtx).
 	sink := opt.Observer
+	var scope obs.SpanScope
+	scope, sink = opt.Span.Enter(sink)
 	var start time.Time
 	if sink != nil {
 		start = time.Now()
 		opt.Observer = obs.SuppressStop(sink)
+		opt.Span = scope
 	}
 	res, err := RFMCtx(ctx, h, spec, opt)
 	if err != nil {
@@ -106,6 +113,7 @@ func RFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Sp
 	}
 	if ref.Observer == nil {
 		ref.Observer = sink
+		ref.Span = scope
 	}
 	cost, _ := fm.RefineHierarchicalCtx(ctx, res.Partition, ref)
 	res.Cost = cost

@@ -8,7 +8,18 @@ import (
 	"time"
 
 	"repro/internal/metric"
+	"repro/internal/obs"
 )
+
+// stallOnFirstRound blocks the engine after its first sweep round so a
+// short context deadline reliably fires mid-run.
+type stallOnFirstRound struct{ d time.Duration }
+
+func (s stallOnFirstRound) Event(e obs.Event) {
+	if e.Kind == obs.KindMetricRound && e.Round == 1 {
+		time.Sleep(s.d)
+	}
+}
 
 func TestComputeMetricCtxAlreadyCancelled(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
@@ -29,10 +40,13 @@ func TestComputeMetricCtxDeadlineReturnsPartialMetric(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	h := clusteredGraph(t, rng, 12, 16)
 	spec := specFor(h, 3)
-	// Fine-grained injection makes the full run take well past the deadline.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	m, st, err := ComputeMetricCtx(ctx, h, spec, Options{Delta: 0.001})
+	// The observer runs synchronously on the engine's goroutine, so
+	// stalling on the first sweep round guarantees the deadline expires
+	// mid-run on any machine (a fixed fine-grained Delta alone raced the
+	// clock on fast hardware).
+	m, st, err := ComputeMetricCtx(ctx, h, spec, Options{Delta: 0.001, Observer: stallOnFirstRound{20 * time.Millisecond}})
 	if err == nil {
 		t.Fatal("an interrupted run must report the interruption")
 	}

@@ -79,6 +79,11 @@ type Options struct {
 	// default) disables telemetry; the hot path then pays one nil check
 	// per sweep round and allocates nothing.
 	Observer obs.Observer
+	// Span nests the run's events in the caller's span tree: the engine
+	// enters one child span for the whole metric computation and stamps
+	// it on every event it emits. The zero value is fine — with an
+	// Observer it starts a fresh root, without one nothing is minted.
+	Span obs.SpanScope
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +139,7 @@ func ComputeMetric(h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (
 // yields a nil metric.
 func ComputeMetricCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt Options) (*metric.Metric, Stats, error) {
 	opt = opt.withDefaults()
+	opt.Span, opt.Observer = opt.Span.Enter(opt.Observer)
 	if err := spec.Validate(); err != nil {
 		return nil, Stats{}, err
 	}

@@ -7,21 +7,28 @@ import (
 
 const obsPath = "repro/internal/obs"
 
-// ObsEmit enforces the telemetry layer's two emission contracts outside
+// ObsEmit enforces the telemetry layer's emission contracts outside
 // internal/obs itself:
 //
 //   - events reach an Observer only through the nil-checked obs.Emit helper
 //     — calling Observer.Event directly skips the nil check (panicking on
-//     the disabled path) and the wall-time stamping;
+//     the disabled path) and the wall-time stamping. The span-minting sites
+//     (SpanScope.Enter/Mint and the WithSpan/WithJob wrappers) gate on nil
+//     internally, so calling them needs no such helper and is never flagged;
 //   - a terminal stop event (Kind obs.KindStop) is emitted at most once per
 //     run path: within any function, after a statement that emits a stop
 //     (directly, or via a helper like emitStop that wraps one), no second
 //     stop emission may be reachable, and no stop emission may sit in a
 //     loop it can re-execute. The schema contract "exactly one stop, last"
-//     (internal/obs schema tests) depends on this.
+//     (internal/obs schema tests) depends on this;
+//   - an obs.Event literal never sets Parent without Span: WithSpan stamps
+//     both fields whenever Span is 0, so a lone Parent is either dead
+//     (overwritten by the nearest tagger) or, with no tagger on the path,
+//     produces a parentless edge htptrace cannot attach. Stamp both from
+//     one scope (Span: scope.Mint(), Parent: scope.Parent) or neither.
 var ObsEmit = &Analyzer{
 	Name: "obsemit",
-	Doc:  "obs.Event emission goes through obs.Emit, and terminal stop events are emitted at most once per run path",
+	Doc:  "obs.Event emission goes through obs.Emit, terminal stops fire at most once per run path, and span identity is stamped whole",
 	Run:  runObsEmit,
 }
 
@@ -31,15 +38,18 @@ func runObsEmit(pass *Pass) {
 	}
 	parents := parentMap(pass.Files)
 
-	// Direct Observer.Event calls.
+	// Direct Observer.Event calls, and half-stamped span identity.
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if isObserverEventCall(pass.Info, call) {
-				pass.Reportf(call.Pos(), "direct Observer.Event call skips the nil check and time stamping; emit through obs.Emit")
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isObserverEventCall(pass.Info, n) {
+					pass.Reportf(n.Pos(), "direct Observer.Event call skips the nil check and time stamping; emit through obs.Emit")
+				}
+			case *ast.CompositeLit:
+				if hasParentWithoutSpan(pass.Info, n) {
+					pass.Reportf(n.Pos(), "event sets Parent without Span; WithSpan overwrites both when Span is 0 — stamp both from one scope (Span: scope.Mint(), Parent: scope.Parent) or neither")
+				}
 			}
 			return true
 		})
@@ -257,6 +267,31 @@ func (st *stopScope) containsStopAction(n ast.Node, self *ast.CallExpr) bool {
 		return true
 	})
 	return found
+}
+
+// hasParentWithoutSpan matches an obs.Event literal stamping Parent but
+// not Span — half a span identity, which no tagger can repair.
+func hasParentWithoutSpan(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil || !namedPath(t, obsPath, "Event") {
+		return false
+	}
+	hasParent, hasSpan := false, false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			switch key.Name {
+			case "Parent":
+				hasParent = true
+			case "Span":
+				hasSpan = true
+			}
+		}
+	}
+	return hasParent && !hasSpan
 }
 
 // isStopLiteral matches a composite literal obs.Event{..., Kind: obs.KindStop, ...}.

@@ -58,6 +58,10 @@ type CoarsenOptions struct {
 	// Observer receives one KindLevel event per coarsening level. Nil
 	// disables telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the per-level events in the caller's span tree: each
+	// coarsening level mints one child span under Span.Parent. Zero
+	// value is fine.
+	Span obs.SpanScope
 }
 
 func (o CoarsenOptions) withDefaults(h *hypergraph.Hypergraph) CoarsenOptions {
@@ -161,6 +165,7 @@ func Coarsen(ctx context.Context, h *hypergraph.Hypergraph, opt CoarsenOptions) 
 		if opt.Observer != nil {
 			obs.Emit(opt.Observer, obs.Event{Kind: obs.KindLevel, Phase: "coarsen",
 				Round: len(s.Levels), Active: coarse.NumNodes(),
+				Span: opt.Span.Mint(), Parent: opt.Span.Parent,
 				ElapsedMS: obs.Millis(time.Since(t0))})
 		}
 		if float64(k) > 0.95*float64(cur.NumNodes()) {

@@ -21,6 +21,10 @@ type UncoarsenOptions struct {
 	// trace (refine-pass events, refine-boundary spans). Nil disables
 	// telemetry at zero cost.
 	Observer obs.Observer
+	// Span nests the descent's events in the caller's span tree: each
+	// level mints one child span, and that level's refinement nests
+	// under it. Zero value is fine.
+	Span obs.SpanScope
 }
 
 func (o UncoarsenOptions) withDefaults() UncoarsenOptions {
@@ -80,8 +84,10 @@ func (s *Stack) Uncoarsen(ctx context.Context, cp *hierarchy.Partition, cost flo
 	salvaged := 0
 	for i := len(s.Levels) - 1; i >= 0; i-- {
 		var t0 time.Time
+		var lvlSpan obs.SpanID
 		if opt.Observer != nil {
 			t0 = time.Now()
+			lvlSpan = opt.Span.Mint()
 		}
 		fp, err := s.Project(i, p)
 		if err != nil {
@@ -99,11 +105,13 @@ func (s *Stack) Uncoarsen(ctx context.Context, cp *hierarchy.Partition, cost flo
 				MaxPasses: opt.MaxPasses,
 				Rng:       rand.New(rand.NewSource(seed)),
 				Observer:  opt.Observer,
+				Span:      obs.SpanScope{Ctx: opt.Span.Ctx, Parent: lvlSpan},
 			})
 		}
 		if opt.Observer != nil {
 			obs.Emit(opt.Observer, obs.Event{Kind: obs.KindLevel, Phase: "uncoarsen",
 				Round: len(s.Levels) - i, Active: p.H.NumNodes(), Cost: cost,
+				Span: lvlSpan, Parent: opt.Span.Parent,
 				ElapsedMS: obs.Millis(time.Since(t0))})
 		}
 	}

@@ -22,6 +22,7 @@ package obs
 
 import (
 	"expvar"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,6 +87,15 @@ var Kinds = []Kind{
 type Event struct {
 	Kind Kind      `json:"ev"`
 	Time time.Time `json:"t"`
+	// Span identifies the node of the run's span tree this event belongs
+	// to, and Parent that node's parent; see span.go. Both 0 when span
+	// identity is not threaded. Within one run IDs are minted parent-first,
+	// so Parent < Span on every stamped event.
+	Span   SpanID `json:"span,omitempty"`
+	Parent SpanID `json:"parent,omitempty"`
+	// Job tags the htpd job that emitted the event in daemon-wide traces;
+	// empty for standalone solver runs.
+	Job string `json:"job,omitempty"`
 	// Iter is the 1-based FLOW iteration the event belongs to; 0 for
 	// events outside an iteration (RFM/GFM phases, terminal stop).
 	Iter int `json:"iter,omitempty"`
@@ -215,19 +225,50 @@ func (m multi) Event(e Event) {
 }
 
 // Funnel serializes events emitted from several goroutines into a single
-// forwarding goroutine, so sinks behind it need no locking. Sends block
-// when the buffer fills — telemetry backpressures rather than drops, and a
-// sink that cannot keep up slows the run instead of losing the trace.
+// forwarding goroutine, so sinks behind it need no locking.
+//
+// Delivery policy is an explicit choice with two variants:
+//
+//   - NewFunnel BLOCKS when the buffer fills — telemetry backpressures
+//     rather than drops, and a sink that cannot keep up slows the run
+//     instead of losing the trace. Right for trace files and collectors,
+//     where a complete record matters more than solver latency. The
+//     footgun: a sink that stalls forever (a dead reader, a full pipe)
+//     stalls the solver with it.
+//   - NewFunnelDropping NEVER blocks — when the buffer is full the event
+//     is counted in Dropped and discarded. Right for sinks that must not
+//     backpressure the solver (htpd's SSE event hub), where liveness
+//     beats completeness and the drop count is surfaced as a metric.
+//
 // Close drains the buffer and waits for the forwarder to finish; events
 // must not be emitted after Close.
 type Funnel struct {
-	ch   chan Event
-	done chan struct{}
+	ch      chan Event
+	done    chan struct{}
+	drop    bool
+	dropped atomic.Int64
 }
 
-// NewFunnel starts the forwarding goroutine for sink.
+// NewFunnel starts a blocking forwarding goroutine for sink (see the
+// delivery-policy note on Funnel).
 func NewFunnel(sink Observer) *Funnel {
-	f := &Funnel{ch: make(chan Event, 256), done: make(chan struct{})}
+	return newFunnel(sink, 256, false)
+}
+
+// NewFunnelDropping starts a non-blocking forwarding goroutine for sink
+// with an n-event buffer (n <= 0 selects the default 256): when the
+// buffer is full, Event drops and counts instead of blocking. Use it for
+// sinks that must never backpressure the emitter; read the loss via
+// Dropped after Close.
+func NewFunnelDropping(sink Observer, n int) *Funnel {
+	return newFunnel(sink, n, true)
+}
+
+func newFunnel(sink Observer, n int, drop bool) *Funnel {
+	if n <= 0 {
+		n = 256
+	}
+	f := &Funnel{ch: make(chan Event, n), done: make(chan struct{}), drop: drop}
 	//htpvet:allow nakedgoroutine -- vetted funnel forwarder: a panicking sink is a caller bug; containing it would silently drop the rest of the trace
 	go func() {
 		defer close(f.done)
@@ -238,8 +279,23 @@ func NewFunnel(sink Observer) *Funnel {
 	return f
 }
 
-// Event enqueues e for the forwarding goroutine.
-func (f *Funnel) Event(e Event) { f.ch <- e }
+// Event enqueues e for the forwarding goroutine. Blocking funnels wait
+// for buffer space; dropping funnels discard e (counted) when full.
+func (f *Funnel) Event(e Event) {
+	if !f.drop {
+		f.ch <- e
+		return
+	}
+	select {
+	case f.ch <- e:
+	default:
+		f.dropped.Add(1)
+	}
+}
+
+// Dropped reports how many events a dropping funnel discarded. Always 0
+// for blocking funnels.
+func (f *Funnel) Dropped() int64 { return f.dropped.Load() }
 
 // Close drains pending events and stops the forwarder.
 func (f *Funnel) Close() {

@@ -84,13 +84,31 @@ func decodeTrace(t *testing.T, buf *bytes.Buffer) []obs.Event {
 }
 
 // checkTraceInvariants enforces the cross-event contract: one terminal
-// stop, last; metric rounds 1-based and monotone within each iteration. A
-// "coarse-fallback" span marks the multilevel engine restarting its coarse
-// stage one level finer, which legitimately restarts the round clock.
+// stop, last; metric rounds 1-based and monotone within each iteration; and
+// span identity is well-formed — parent-first minting means every stamped
+// event satisfies Parent < Span (a parent is always minted before any of
+// its children, so htptrace's reverse-ID sweep is a valid post-order). A
+// parent need not itself carry an event: SuppressStop can swallow the one
+// event a mid-tree span would have stamped (the multilevel construct stage
+// does exactly that to the coarse solver's stop), and htptrace roots such
+// orphans. A "coarse-fallback" span marks the multilevel engine restarting
+// its coarse stage one level finer, which legitimately restarts the round
+// clock.
 func checkTraceInvariants(t *testing.T, events []obs.Event) {
 	t.Helper()
 	if len(events) == 0 {
 		t.Fatal("empty trace")
+	}
+	for i, e := range events {
+		if e.Parent == 0 {
+			continue
+		}
+		if e.Span == 0 {
+			t.Fatalf("event %d (%s) sets parent %d without a span", i, e.Kind, e.Parent)
+		}
+		if e.Parent >= e.Span {
+			t.Fatalf("event %d (%s): parent %d not minted before child %d", i, e.Kind, e.Parent, e.Span)
+		}
 	}
 	stops := 0
 	lastRound := map[int]int{} // iteration -> last metric round seen
@@ -212,16 +230,48 @@ func TestTraceSchemaRoundTrip(t *testing.T) {
 			return res.Cost
 		})
 		levels := false
+		levelSpans := map[obs.SpanID]bool{}
 		for _, e := range events {
 			if e.Kind == obs.KindLevel {
 				levels = true
 				if e.Phase != "coarsen" && e.Phase != "uncoarsen" {
 					t.Fatalf("level event with phase %q", e.Phase)
 				}
+				// Each V-cycle level owns a distinct span nested under its
+				// phase, so htptrace can split phase time per level.
+				if e.Span == 0 || e.Parent == 0 {
+					t.Fatalf("level event (%s %d) missing span identity: span=%d parent=%d",
+						e.Phase, e.Round, e.Span, e.Parent)
+				}
+				if levelSpans[e.Span] {
+					t.Fatalf("level span %d reused across level events", e.Span)
+				}
+				levelSpans[e.Span] = true
 			}
 		}
 		if !levels {
 			t.Fatalf("no level events in multilevel trace: %v", kinds(events))
+		}
+
+		// Pin the wire names: span identity serializes as "span"/"parent"
+		// and both are omitted when unset.
+		for _, e := range events {
+			if e.Span == 0 || e.Parent == 0 {
+				continue
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains(data, []byte(`"span":`)) || !bytes.Contains(data, []byte(`"parent":`)) {
+				t.Fatalf("stamped event serializes without span identity: %s", data)
+			}
+			break
+		}
+		if bare, err := json.Marshal(obs.Event{Kind: obs.KindBest}); err != nil {
+			t.Fatal(err)
+		} else if bytes.Contains(bare, []byte("span")) || bytes.Contains(bare, []byte("parent")) {
+			t.Fatalf("unstamped event serializes span fields: %s", bare)
 		}
 	})
 

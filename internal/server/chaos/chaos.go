@@ -120,17 +120,17 @@ func (c *Harness) Solvers() *server.Solvers {
 			defer done()
 			return c.inner.GFM(ctx, h, spec, opt)
 		},
-		Salvage: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error) {
+		Salvage: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer, span obs.SpanScope) (*htp.Result, error) {
 			if c.cfg.SkipSalvage {
 				c.salvages.Add(1)
-				return c.inner.Salvage(ctx, h, spec, seed, o)
+				return c.inner.Salvage(ctx, h, spec, seed, o, span)
 			}
 			ctx, done, err := c.inject(ctx, h)
 			if err != nil {
 				return nil, err
 			}
 			defer done()
-			return c.inner.Salvage(ctx, h, spec, seed, o)
+			return c.inner.Salvage(ctx, h, spec, seed, o, span)
 		},
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/anytime"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle state of a partitioning job. The machine is
@@ -93,6 +94,19 @@ type Job struct {
 	h     *hypergraph.Hypergraph
 	pspec hierarchy.Spec
 	hub   *eventHub
+	// spans mints this job's span IDs; rootSpan (always 1) is the job-level
+	// root every rung span nests under. Minted at admission so recovered
+	// jobs re-mint deterministically.
+	spans    *obs.SpanCtx
+	rootSpan obs.SpanID
+	// runSink is the solver-facing observer for the current run: the hub
+	// behind a dropping funnel, merged with the server trace sink. Set by
+	// runJob before solving, nil otherwise. Only the owning worker touches
+	// it, so it needs no lock.
+	runSink obs.Observer
+	// trace is the server trace sink pre-tagged with this job's ID; nil
+	// when the daemon runs without a trace sink. Set at admission.
+	trace obs.Observer
 
 	mu         sync.Mutex
 	state      JobState
@@ -176,4 +190,14 @@ func (j *Job) snapshotResult() *hierarchy.PartitionDump {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// sink returns the observer solver attempts emit into: the funnel+trace
+// pipeline while runJob has one wired, the bare hub otherwise (paths that
+// emit before the pipeline exists, like recovery).
+func (j *Job) sink() obs.Observer {
+	if j.runSink != nil {
+		return j.runSink
+	}
+	return j.hub
 }

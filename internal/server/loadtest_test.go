@@ -13,7 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"io"
+	"math"
+
 	"repro/internal/hypergraph"
+	"repro/internal/obs/metrics"
 )
 
 // TestLoadProfile is the `make loadtest` harness: a fleet of concurrent
@@ -41,6 +45,7 @@ func TestLoadProfile(t *testing.T) {
 	certBefore := cCertFailures.Value()
 	invBefore := cInvariantViolations.Value()
 	rejBefore := cRejections.Value()
+	histBefore := jobDurationSnapshot()
 
 	const budget = 5 * time.Second
 	_, ts := newTestServer(t, Config{
@@ -132,6 +137,49 @@ func TestLoadProfile(t *testing.T) {
 	if rejects == 0 {
 		t.Log("note: no 429s fired; offered load never outran the queue on this machine")
 	}
+
+	// The /metrics histogram must agree with the latencies the clients saw:
+	// same population (finish − submit, recorded by finishJob), so its
+	// interpolated quantiles must land within the bucketing error of the
+	// measured percentiles. Buckets grow by 1.15x, so 20% is a safe bound;
+	// the absolute floor forgives sub-bucket jitter on near-instant solves.
+	histDelta := jobDurationSnapshot().Sub(histBefore)
+	if histDelta.Count != uint64(jobs) {
+		t.Fatalf("job duration histogram grew by %d observations, want %d", histDelta.Count, jobs)
+	}
+	for _, qt := range []struct {
+		q        float64
+		measured time.Duration
+	}{{0.50, p50}, {0.99, p99}} {
+		got := histDelta.Quantile(qt.q)
+		want := qt.measured.Seconds()
+		if diff := math.Abs(got - want); diff > 0.20*want && diff > 0.005 {
+			t.Errorf("histogram q%v = %.4fs, measured %.4fs: off by more than 20%%", qt.q, got, want)
+		}
+	}
+
+	// And the exposition endpoint serves it, per-rung, alongside the
+	// bridged expvar counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE htpd_job_duration_seconds histogram",
+		`htpd_job_duration_seconds_count{rung=`,
+		`htpd_job_duration_seconds_bucket{rung=`,
+		"htpd_jobs_done",
+		"htp_metric_rounds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
 	t.Logf("load profile: %d jobs, %d clients: p50=%v p99=%v max=%v; %d overload rejections (%d client retries)",
 		jobs, clients, p50.Round(time.Millisecond), p99.Round(time.Millisecond),
 		latencies[len(latencies)-1].Round(time.Millisecond), rejects, rejected.Load())
@@ -191,6 +239,16 @@ func chordRing(tb testing.TB, n int) string {
 		tb.Fatalf("rendering chord ring: %v", err)
 	}
 	return sb.String()
+}
+
+// jobDurationSnapshot merges mJobDuration across its rung labels into one
+// snapshot, so before/after deltas cover whatever rungs the run used.
+func jobDurationSnapshot() metrics.HistogramSnapshot {
+	s := metrics.NewHistogram(metrics.DurationBuckets()).Snapshot()
+	for _, l := range mJobDuration.Labels() {
+		s = s.Merge(mJobDuration.With(l).Snapshot())
+	}
+	return s
 }
 
 func envInt(name string, def int) int {

@@ -74,9 +74,36 @@ func (s *Server) runJob(j *Job) {
 	cInFlight.Add(1)
 	defer cInFlight.Add(-1)
 
+	// Solver telemetry pipeline: the SSE hub sits behind a DROPPING funnel
+	// so a stalled consumer can never backpressure the solver — drops are
+	// counted into htpd.events_dropped instead (the blocking Funnel's
+	// silent-stall footgun does not belong in a service). The daemon trace
+	// sink, when configured, sees the same stream tagged with the job ID.
+	// closeDrop drains the funnel exactly once; it runs explicitly before
+	// the normal finishJob — so the terminal stop is ordered after every
+	// solver event — and is deferred for the panic path, where it still
+	// precedes the recovery defer's finishJob (LIFO defer order).
+	drop := obs.NewFunnelDropping(j.hub, 0)
+	drained := false
+	closeDrop := func() {
+		if drained {
+			return
+		}
+		drained = true
+		j.runSink = nil
+		drop.Close()
+		if n := drop.Dropped(); n > 0 {
+			cEventsDropped.Add(n)
+			s.log.Warn("slow event consumers dropped telemetry", "job", j.ID, "dropped", n)
+		}
+	}
+	defer closeDrop()
+	j.runSink = obs.Multi(drop, j.trace)
+
 	s.journalState(j, StateRunning, "", "", 0, "")
 
 	out := s.solveJob(ctx, j)
+	closeDrop()
 
 	// Shutdown interruption: the job goes back to queued (journaled), so a
 	// restarted daemon re-runs it. Not a terminal transition. A job that
@@ -161,6 +188,14 @@ func (s *Server) finishJob(j *Job, out solveOutcome, clientCancelled bool) {
 	case StateCancelled:
 		cJobsCancelled.Add(1)
 	}
+	// Latency histogram, labelled by the rung that served the result so
+	// /metrics exposes per-rung quantiles; jobs without one (failed or
+	// cancelled before any rung finished) fall under their terminal state.
+	rung := out.stage
+	if rung == "" {
+		rung = string(state)
+	}
+	mJobDuration.With(rung).Observe(elapsed.Seconds())
 	errMsg := ""
 	if out.err != nil && out.res == nil {
 		errMsg = out.err.Error()
@@ -178,8 +213,9 @@ func (s *Server) finishJob(j *Job, out solveOutcome, clientCancelled bool) {
 	case state == StateFailed:
 		reason = "error"
 	}
-	obs.Emit(j.hub, obs.Event{
+	obs.Emit(obs.Multi(j.hub, j.trace), obs.Event{
 		Kind:      obs.KindStop,
+		Span:      j.rootSpan,
 		Reason:    reason,
 		Cost:      cost,
 		ElapsedMS: obs.Millis(elapsed),

@@ -37,6 +37,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 )
 
 // Package-level expvar counters. Registered once per process (expvar panics
@@ -57,7 +58,18 @@ var (
 	cJobsCancelled       = expvar.NewInt("htpd.jobs_cancelled")
 	cRecovered           = expvar.NewInt("htpd.jobs_recovered")
 	cInvariantViolations = expvar.NewInt("htpd.invariant_violations")
+	cEventsDropped       = expvar.NewInt("htpd.events_dropped")
 )
+
+// mJobDuration is the end-to-end job latency histogram served on /metrics,
+// labelled by the ladder rung that served the result ("multilevel", "flow",
+// "gfm", "salvage" — or the terminal state for jobs without one). Buckets
+// are the shared log-scaled layout, so quantile estimates carry at most
+// ~15% bucketing error (the loadtest asserts them against measured
+// latencies within 20%).
+var mJobDuration = metrics.Default.HistogramVec("htpd_job_duration_seconds",
+	"End-to-end job latency (submit to terminal state) by serving ladder rung.",
+	"rung", metrics.DurationBuckets())
 
 // maxSubmitBytes bounds a submit request body. The inline netlist dominates;
 // 64 MiB comfortably fits every benchmark-scale instance while keeping a
@@ -96,6 +108,14 @@ type Config struct {
 	Solvers *Solvers
 	// Logger receives operational logs; nil discards them.
 	Logger *slog.Logger
+	// Trace, when set, receives every job's full solver telemetry tagged
+	// with the job ID (obs.Event.Job) — typically a JSONL sink behind a
+	// funnel, for offline analysis with cmd/htptrace. Unlike the SSE hub
+	// the trace sink sees events verbatim and must tolerate concurrent
+	// calls: distinct jobs emit from distinct worker goroutines (htpd
+	// wraps its JSONL file sink in a blocking Funnel for exactly that;
+	// events of different jobs interleave but carry the Job tag).
+	Trace obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -327,12 +347,16 @@ func (s *Server) buildJob(id string, spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building hierarchy spec: %w", err)
 	}
+	spans := obs.NewSpanCtx()
 	return &Job{
 		ID:        id,
 		Spec:      spec,
 		h:         h,
 		pspec:     pspec,
 		hub:       newEventHub(),
+		spans:     spans,
+		rootSpan:  spans.NewSpan(), // always 1: the job's root is deterministic
+		trace:     obs.WithJob(s.cfg.Trace, id),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}, nil
@@ -385,8 +409,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
+}
+
+// handleMetrics serves the process metrics in the Prometheus text
+// exposition format: the registry's native instruments (histograms
+// included) followed by the legacy htp.*/htpd.* expvar counters bridged
+// with dots mapped to underscores.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteProcessMetrics(w)
 }
 
 // httpError is the uniform JSON error document.

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -680,7 +681,7 @@ func TestShutdownRequeuesAndRestartRecovers(t *testing.T) {
 				<-ctx.Done()
 				return nil, ctx.Err()
 			},
-			Salvage: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error) {
+			Salvage: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer, span obs.SpanScope) (*htp.Result, error) {
 				return nil, ctx.Err()
 			},
 		},
@@ -863,5 +864,111 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: code %d", resp.StatusCode)
+	}
+}
+
+// traceRecorder is a Config.Trace sink capturing raw events; it needs its
+// own lock because distinct jobs emit from distinct worker goroutines.
+type traceRecorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *traceRecorder) Event(e obs.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *traceRecorder) snapshot() []obs.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]obs.Event(nil), r.events...)
+}
+
+// TestJobTraceCarriesSpanIdentity runs two jobs against a daemon with a
+// trace sink attached and pins the trace contract htptrace relies on:
+// every event is tagged with its job ID, each job's stream ends in exactly
+// one stop stamped with the job root span (always 1, minted at admission),
+// rung spans nest under the root, and IDs are minted parent-first so
+// Parent < Span everywhere.
+func TestJobTraceCarriesSpanIdentity(t *testing.T) {
+	rec := &traceRecorder{}
+	_, ts := newTestServer(t, Config{
+		Workers:       2,
+		MaxQueue:      8,
+		DefaultBudget: 20 * time.Second,
+		Trace:         rec,
+	})
+	net := ringNetlist(t, 24)
+	ids := []string{
+		submitOK(t, ts, JobSpec{Netlist: net, Height: 2, Seed: 7}),
+		submitOK(t, ts, JobSpec{Netlist: net, Height: 2, Seed: 8}),
+	}
+	for _, id := range ids {
+		waitTerminal(t, ts, id, 15*time.Second)
+	}
+	// The terminal status turns visible just before finishJob emits the
+	// trace stop; wait for both stops to land.
+	byJob := map[string][]obs.Event{}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		byJob = map[string][]obs.Event{}
+		for _, e := range rec.snapshot() {
+			byJob[e.Job] = append(byJob[e.Job], e)
+		}
+		stops := 0
+		for _, id := range ids {
+			for _, e := range byJob[id] {
+				if e.Kind == obs.KindStop {
+					stops++
+				}
+			}
+		}
+		if stops == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace stops never arrived: %d/%d", stops, len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if n := len(byJob[""]); n != 0 {
+		t.Fatalf("%d trace events carry no job tag", n)
+	}
+	for _, id := range ids {
+		evs := byJob[id]
+		if len(evs) == 0 {
+			t.Fatalf("job %s left no trace", id)
+		}
+		stops, rungSpans := 0, 0
+		for i, e := range evs {
+			if e.Kind == obs.KindStop {
+				stops++
+				if i != len(evs)-1 {
+					t.Errorf("job %s: stop at event %d of %d, want last", id, i+1, len(evs))
+				}
+				if e.Span != 1 {
+					t.Errorf("job %s: stop stamped span %d, want root span 1", id, e.Span)
+				}
+			}
+			if e.Span != 0 && e.Parent >= e.Span {
+				t.Errorf("job %s: event %d violates parent-first minting: span=%d parent=%d",
+					id, i, e.Span, e.Parent)
+			}
+			if e.Kind == obs.KindSpan && strings.HasPrefix(e.Phase, "rung:") {
+				rungSpans++
+				if e.Parent != 1 {
+					t.Errorf("job %s: rung span %q nests under %d, want job root 1", id, e.Phase, e.Parent)
+				}
+			}
+		}
+		if stops != 1 {
+			t.Errorf("job %s traced %d stops, want exactly 1", id, stops)
+		}
+		if rungSpans == 0 {
+			t.Errorf("job %s traced no rung spans", id)
+		}
 	}
 }

@@ -25,7 +25,11 @@ type Solvers struct {
 	Multilevel func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.MultilevelOptions) (*htp.Result, error)
 	Flow       func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.FlowOptions) (*htp.Result, error)
 	GFM        func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.GFMOptions) (*htp.Result, error)
-	Salvage    func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error)
+	// Salvage takes the job's span scope explicitly (the other rungs carry
+	// it inside their Options): without it, the inject call would start a
+	// fresh span ID space colliding with the job's own IDs in the merged
+	// trace.
+	Salvage func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer, span obs.SpanScope) (*htp.Result, error)
 }
 
 // RealSolvers returns the production entry points.
@@ -49,9 +53,9 @@ const salvageGrace = 2 * time.Second
 // still yields a usable partial metric — then carve one partition from it
 // under a small detached grace window. This is the job-level analog of the
 // solver-internal salvage path from PR 1.
-func metricSalvage(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer) (*htp.Result, error) {
+func metricSalvage(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, o obs.Observer, span obs.SpanScope) (*htp.Result, error) {
 	m, _, merr := inject.ComputeMetricCtx(ctx, h, spec,
-		inject.Options{Rng: rand.New(rand.NewSource(seed)), Observer: obs.SuppressStop(o)})
+		inject.Options{Rng: rand.New(rand.NewSource(seed)), Observer: obs.SuppressStop(o), Span: span})
 	if m == nil {
 		return nil, merr
 	}
@@ -69,7 +73,8 @@ func metricSalvage(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 		stop = anytime.StopConverged
 	}
 	cost := p.Cost()
-	obs.Emit(o, obs.Event{Kind: obs.KindSalvage, Cost: cost, Salvaged: true})
+	obs.Emit(o, obs.Event{Kind: obs.KindSalvage, Cost: cost, Salvaged: true,
+		Span: span.Mint(), Parent: span.Parent})
 	return &htp.Result{Partition: p, Cost: cost, Iterations: 1, Stop: stop}, nil
 }
 
@@ -211,24 +216,43 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, rungName string, seed i
 	}()
 	// All rungs but the last suppress their terminal stop: the job emits
 	// exactly one job-level stop event when it finishes, whichever rung
-	// served (the PR-3 composition pattern for "+" pipelines).
-	o := obs.SuppressStop(j.hub)
+	// served (the PR-3 composition pattern for "+" pipelines). Each attempt
+	// runs under its own span nested in the job root, so the trace shows
+	// where the budget went rung by rung; the scope hands the job's span
+	// minter down so solver-internal spans share the ID space.
+	o := obs.SuppressStop(j.sink())
+	var scope obs.SpanScope
+	if o != nil {
+		rungSpan := j.spans.NewSpan()
+		t0 := time.Now()
+		defer func() {
+			obs.Emit(j.sink(), obs.Event{
+				Kind: obs.KindSpan, Phase: "rung:" + rungName,
+				Span: rungSpan, Parent: j.rootSpan,
+				ElapsedMS: obs.Millis(time.Since(t0)),
+			})
+		}()
+		o = obs.WithSpan(o, rungSpan, j.rootSpan)
+		scope = obs.SpanScope{Ctx: j.spans, Parent: rungSpan}
+	}
 	switch rungName {
 	case "multilevel":
 		return s.solvers.Multilevel(ctx, j.h, j.pspec, htp.MultilevelOptions{
 			Seed:     seed,
 			Observer: o,
+			Span:     scope,
 		})
 	case "flow":
 		return s.solvers.Flow(ctx, j.h, j.pspec, htp.FlowOptions{
 			Iterations: j.Spec.Iters,
 			Seed:       seed,
 			Observer:   o,
+			Span:       scope,
 		})
 	case "gfm":
-		return s.solvers.GFM(ctx, j.h, j.pspec, htp.GFMOptions{Seed: seed, Observer: o})
+		return s.solvers.GFM(ctx, j.h, j.pspec, htp.GFMOptions{Seed: seed, Observer: o, Span: scope})
 	case "salvage":
-		return s.solvers.Salvage(ctx, j.h, j.pspec, seed, o)
+		return s.solvers.Salvage(ctx, j.h, j.pspec, seed, o, scope)
 	}
 	return nil, fmt.Errorf("unknown ladder rung %q", rungName)
 }
