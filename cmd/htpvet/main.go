@@ -8,9 +8,13 @@
 //	htpvet ./...             # analyze the module (the default)
 //	htpvet -only detrand ./internal/inject/
 //	htpvet -list             # print the suite
+//	htpvet -json ./...       # machine-readable findings on stdout
 //
 // Diagnostics print as file:line:col: message [analyzer] and any finding
-// exits 1. Intentional exceptions are annotated in the source:
+// exits 1. With -json, findings print instead as a JSON array of
+// {analyzer, file, line, col, message} objects (an empty run prints []),
+// for CI annotation tooling and editors. Intentional exceptions are
+// annotated in the source:
 //
 //	//htpvet:allow <analyzer> -- <reason>
 //
@@ -19,17 +23,27 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/lint"
 )
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array instead of text")
 	flag.Parse()
 
 	if *list {
@@ -39,17 +53,10 @@ func main() {
 		return
 	}
 
-	analyzers := lint.Analyzers
-	if *only != "" {
-		analyzers = nil
-		for _, name := range strings.Split(*only, ",") {
-			a := lint.Lookup(strings.TrimSpace(name))
-			if a == nil {
-				fmt.Fprintf(os.Stderr, "htpvet: unknown analyzer %q (see -list)\n", name)
-				os.Exit(2)
-			}
-			analyzers = append(analyzers, a)
-		}
+	analyzers, err := lint.SelectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htpvet:", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -68,8 +75,27 @@ func main() {
 	}
 
 	diags := lint.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "htpvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "htpvet: %d finding(s)\n", len(diags))

@@ -6,6 +6,7 @@
 package fm
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/hypergraph"
@@ -191,9 +192,18 @@ func (s *bistate) move(v hypergraph.NodeID) float64 {
 // The initial assignment must itself satisfy the window. It returns the
 // final cut capacity.
 func RefineBipartition(h *hypergraph.Hypergraph, inA []bool, lbA, ubA int64, opt BiOptions) float64 {
+	return RefineBipartitionCtx(context.Background(), h, inA, lbA, ubA, opt)
+}
+
+// RefineBipartitionCtx is RefineBipartition under a context. Cancellation is
+// polled between passes and every 256 moves within a pass; an interrupted
+// pass still rolls back to its best applied prefix, so inA is always a valid
+// bipartition inside the window. If cancellation lands before any pass runs,
+// inA is untouched and the returned cut is 0.
+func RefineBipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, inA []bool, lbA, ubA int64, opt BiOptions) float64 {
 	opt = opt.withDefaults()
 	var finalCut float64
-	for pass := 0; pass < opt.MaxPasses; pass++ {
+	for pass := 0; pass < opt.MaxPasses && ctx.Err() == nil; pass++ {
 		s := newBistate(h, inA)
 		startCut := s.cut
 		s.pushAll()
@@ -208,6 +218,9 @@ func RefineBipartition(h *hypergraph.Hypergraph, inA []bool, lbA, ubA int64, opt
 			curCut  = s.cut
 		)
 		for {
+			if len(history)&255 == 255 && ctx.Err() != nil {
+				break
+			}
 			v, ok := s.bestFeasibleMove(lbA, ubA)
 			if !ok {
 				break
@@ -236,6 +249,7 @@ func RefineBipartition(h *hypergraph.Hypergraph, inA []bool, lbA, ubA int64, opt
 // keeps the balance window, preferring the side whose top gain is higher.
 func (s *bistate) bestFeasibleMove(lbA, ubA int64) (hypergraph.NodeID, bool) {
 	pop := func(h *pqueue.IndexedMinHeap, fromA bool) (hypergraph.NodeID, bool) {
+		//htpvet:allow ctxpoll -- every iteration pops and locks a heap node, so the loop consumes at most the heap's content across a whole pass; the caller's move loop polls ctx every 256 moves
 		for h.Len() > 0 {
 			vi, _ := h.Peek()
 			v := hypergraph.NodeID(vi)

@@ -1,0 +1,96 @@
+package fm
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// pathGraph builds a path of n unit nodes, v connected to v+1.
+func pathGraph(n int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(n)
+	for v := 0; v < n-1; v++ {
+		b.AddNet("", 1, hypergraph.NodeID(v), hypergraph.NodeID(v+1))
+	}
+	return b.MustBuild()
+}
+
+// The Ctx twins with a background context must behave exactly like the
+// context-free facades: the ctxpoll fixes may not perturb golden results.
+func TestRefineBipartitionCtxBackgroundMatchesFacade(t *testing.T) {
+	h := twoCliquesBridge(t)
+	mk := func() []bool {
+		inA := make([]bool, 8)
+		for v := 0; v < 8; v += 2 {
+			inA[v] = true
+		}
+		return inA
+	}
+	plain := mk()
+	cutPlain := RefineBipartition(h, plain, 3, 5, BiOptions{Rng: rand.New(rand.NewSource(11))})
+	ctxed := mk()
+	cutCtx := RefineBipartitionCtx(context.Background(), h, ctxed, 3, 5, BiOptions{Rng: rand.New(rand.NewSource(11))})
+	if cutPlain != cutCtx {
+		t.Fatalf("cut mismatch: facade %g, ctx twin %g", cutPlain, cutCtx)
+	}
+	for v := range plain {
+		if plain[v] != ctxed[v] {
+			t.Fatalf("assignment mismatch at node %d", v)
+		}
+	}
+}
+
+// A context cancelled before the first pass must leave the bipartition
+// untouched: no pass ran, so no move was applied.
+func TestRefineBipartitionCtxCancelledUpfront(t *testing.T) {
+	h := twoCliquesBridge(t)
+	inA := make([]bool, 8)
+	for v := 0; v < 8; v += 2 {
+		inA[v] = true
+	}
+	want := append([]bool(nil), inA...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	RefineBipartitionCtx(ctx, h, inA, 3, 5, BiOptions{})
+	for v := range want {
+		if inA[v] != want[v] {
+			t.Fatalf("cancelled refinement moved node %d", v)
+		}
+	}
+}
+
+func TestGrowSeedSideCtxBackgroundMatchesFacade(t *testing.T) {
+	h := pathGraph(1000)
+	plain := GrowSeedSide(h, 0, 600)
+	ctxed := GrowSeedSideCtx(context.Background(), h, 0, 600)
+	for v := range plain {
+		if plain[v] != ctxed[v] {
+			t.Fatalf("assignment mismatch at node %d", v)
+		}
+	}
+}
+
+// A cancelled context stops the breadth-first growth at the next masked
+// poll (every 256 dequeues) instead of sweeping the whole graph.
+func TestGrowSeedSideCtxCancelledStopsEarly(t *testing.T) {
+	h := pathGraph(10000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inA := GrowSeedSideCtx(ctx, h, 0, h.TotalSize())
+	grown := 0
+	for _, in := range inA {
+		if in {
+			grown++
+		}
+	}
+	if grown == 0 {
+		t.Fatal("seed side empty: the seed itself must always be placed")
+	}
+	// The poll granularity is 256 dequeues; well before the 10000-node sweep.
+	if grown > 1024 {
+		t.Fatalf("cancelled growth placed %d nodes; expected an early stop near the 256-dequeue poll", grown)
+	}
+}

@@ -129,11 +129,21 @@ func RefineHierarchicalCtx(ctx context.Context, p *hierarchy.Partition, opt Refi
 // node). Disconnected remainders are left on the B side. Used to prime
 // RefineBipartition.
 func GrowSeedSide(h *hypergraph.Hypergraph, seed hypergraph.NodeID, target int64) []bool {
+	return GrowSeedSideCtx(context.Background(), h, seed, target)
+}
+
+// GrowSeedSideCtx is GrowSeedSide under a context: the breadth-first growth
+// polls cancellation every 256 dequeues and returns the side grown so far,
+// which is always a valid (if undersized) seed region for refinement.
+func GrowSeedSideCtx(ctx context.Context, h *hypergraph.Hypergraph, seed hypergraph.NodeID, target int64) []bool {
 	inA := make([]bool, h.NumNodes())
 	inA[seed] = true
 	size := h.NodeSize(seed)
 	queue := []hypergraph.NodeID{seed}
-	for len(queue) > 0 && size < target {
+	for steps := 0; len(queue) > 0 && size < target; steps++ {
+		if steps&255 == 255 && ctx.Err() != nil {
+			return inA
+		}
 		v := queue[0]
 		queue = queue[1:]
 		for _, e := range h.Incident(v) {

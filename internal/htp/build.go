@@ -306,7 +306,7 @@ func (b *builder) carve(sub *hypergraph.Hypergraph, d []float64, lb, ub int64) [
 		for _, v := range best {
 			in[v] = true
 		}
-		fm.RefineBipartition(sub, in, lb, ub, fm.BiOptions{Rng: b.opt.Rng})
+		fm.RefineBipartitionCtx(b.ctx, sub, in, lb, ub, fm.BiOptions{Rng: b.opt.Rng})
 		polished := best[:0:0]
 		var size int64
 		for v := 0; v < sub.NumNodes(); v++ {
@@ -341,7 +341,9 @@ func (b *builder) topUp(sub *hypergraph.Hypergraph, piece []hypergraph.NodeID, l
 	for _, v := range piece {
 		in[v] = true
 	}
-	for size < lb {
+	// Cancellation may leave the piece undershot: place's child-count check
+	// reports it, exactly as it does when the repair gets genuinely stuck.
+	for size < lb && b.ctx.Err() == nil {
 		best := hypergraph.NodeID(-1)
 		for v := 0; v < sub.NumNodes(); v++ {
 			id := hypergraph.NodeID(v)

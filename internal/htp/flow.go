@@ -249,7 +249,7 @@ func FlowCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec,
 			// build.
 			buildCtx := ctx
 			if c == 0 {
-				//htpvet:allow ctxflow -- deliberate detach: the first construction is cheap and bounded and must complete so a deadline landing between metric and build still yields a candidate
+				//htpvet:allow ctxflow -- deliberate detach: the first construction is cheap and bounded and must complete so a deadline landing between metric and build still yields a candidate; the detached BuildCtx still polls its own (background) context, so no ctxpoll debt hides behind the detach
 				buildCtx = context.Background()
 			} else if ctx.Err() != nil {
 				return

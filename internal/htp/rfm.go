@@ -56,7 +56,7 @@ func RFMCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, 
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	engine := func(sub *hypergraph.Hypergraph, _ []float64, lb, ub int64, rng *rand.Rand) []hypergraph.NodeID {
-		return fmCarve(sub, lb, ub, opt.FM, rng)
+		return fmCarve(ctx, sub, lb, ub, opt.FM, rng)
 	}
 	d := make([]float64, h.NumNets()) // unused by the FM engine
 	p, err := BuildCtx(ctx, h, spec, d, BuildOptions{
@@ -127,18 +127,18 @@ func RFMPlusCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Sp
 // fmCarve separates a node set of size within [lb..ub] by seeding a region,
 // growing it to the window's midpoint, and FM-refining the bipartition under
 // the window. Returns side-A node IDs of sub.
-func fmCarve(sub *hypergraph.Hypergraph, lb, ub int64, opt fm.BiOptions, rng *rand.Rand) []hypergraph.NodeID {
+func fmCarve(ctx context.Context, sub *hypergraph.Hypergraph, lb, ub int64, opt fm.BiOptions, rng *rand.Rand) []hypergraph.NodeID {
 	seed := hypergraph.NodeID(rng.Intn(sub.NumNodes()))
 	target := (lb + ub) / 2
 	if target < 1 {
 		target = 1
 	}
-	inA := fm.GrowSeedSide(sub, seed, target)
+	inA := fm.GrowSeedSideCtx(ctx, sub, seed, target)
 	fmOpt := opt
 	if fmOpt.Rng == nil {
 		fmOpt.Rng = rng
 	}
-	fm.RefineBipartition(sub, inA, lb, ub, fmOpt)
+	fm.RefineBipartitionCtx(ctx, sub, inA, lb, ub, fmOpt)
 	var piece []hypergraph.NodeID
 	var size int64
 	for v := 0; v < sub.NumNodes(); v++ {
@@ -153,6 +153,7 @@ func fmCarve(sub *hypergraph.Hypergraph, lb, ub int64, opt fm.BiOptions, rng *ra
 	// cluster nodes) the grow can overshoot ub by up to a node and
 	// refinement cannot always recover; an undershoot of lb is repaired
 	// by the builder's shared top-up (see carve in build.go).
+	//htpvet:allow ctxpoll -- sheds exactly one node per iteration (at most |piece| total), and ub is a hard invariant the builder's window accounting relies on, so the repair must finish even under cancellation
 	for size > ub && len(piece) > 1 {
 		// Prefer a removal that lands inside the window; otherwise shed the
 		// largest node so the loop makes maximal progress toward ub.

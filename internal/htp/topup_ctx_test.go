@@ -1,0 +1,39 @@
+package htp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// A cancelled build context stops topUp's repair loop: the undershot piece
+// comes back as-is and place's child-count check reports the consequence,
+// instead of the repair sweeping the sub-hypergraph after the deadline.
+func TestTopUpStopsOnCancelledContext(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(64)
+	for v := 0; v < 63; v++ {
+		b.AddNet("", 1, hypergraph.NodeID(v), hypergraph.NodeID(v+1))
+	}
+	sub := b.MustBuild()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bld := &builder{ctx: ctx}
+	piece := bld.topUp(sub, []hypergraph.NodeID{0, 1}, 10, 20)
+	if len(piece) != 2 {
+		t.Fatalf("cancelled topUp changed the piece: got %d nodes, want the 2 passed in", len(piece))
+	}
+
+	// With a live context the same call must still repair up to lb.
+	bld = &builder{ctx: context.Background()}
+	piece = bld.topUp(sub, []hypergraph.NodeID{0, 1}, 10, 20)
+	var size int64
+	for _, v := range piece {
+		size += sub.NodeSize(v)
+	}
+	if size < 10 || size > 20 {
+		t.Fatalf("live topUp repaired to size %d, want within [10..20]", size)
+	}
+}

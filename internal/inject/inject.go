@@ -459,7 +459,7 @@ func (g *engine) runParallel() {
 			inTree: make([]bool, h.NumNets()),
 			nets:   make([]hypergraph.NetID, 0, 256),
 		}
-		//htpvet:allow nakedgoroutine -- vetted worker pool: growRoot is pure array code over caller-owned scratch; a panic here is a solver bug that must surface, not be contained (DESIGN.md "Parallel metric engine")
+		//htpvet:allow nakedgoroutine -- vetted worker pool: growRoot is pure array code over caller-owned scratch; a panic here is a solver bug that must surface, not be contained (DESIGN.md "Parallel metric engine"; re-audited for the interprocedural suite: workers take no locks and stop via the shared stop flag growRoot polls)
 		go func(id int32, ws *injectWorker) {
 			for range startCh {
 				for {
@@ -506,6 +506,7 @@ func (g *engine) runParallel() {
 			}
 			next.Store(0)
 			wg.Add(workers)
+			//htpvet:allow ctxpoll -- rendezvous with the dedicated worker pool: each send completes as soon as a worker's range loop comes back around, and the enclosing batch loop polls g.ctx right above
 			for w := 0; w < workers; w++ {
 				startCh <- struct{}{}
 			}

@@ -107,6 +107,15 @@ func TestObsEmitFixture(t *testing.T) {
 func TestNakedGoroutineFixture(t *testing.T) {
 	runFixture(t, "nakedgoroutine", "repro/fixtures/nakedgoroutine")
 }
+func TestCtxPollFixture(t *testing.T) {
+	runFixture(t, "ctxpoll", "repro/fixtures/ctxpoll")
+}
+func TestLockDiscFixture(t *testing.T) {
+	runFixture(t, "lockdisc", "repro/fixtures/lockdisc")
+}
+func TestErrFlowFixture(t *testing.T) {
+	runFixture(t, "errflow", "repro/fixtures/errflow")
+}
 
 // TestPartialRunKeepsForeignAllowances pins the htpvet -only behavior: an
 // allowance for an analyzer that did not run is neither used nor stale, so a

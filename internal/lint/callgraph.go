@@ -1,0 +1,689 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file builds the interprocedural substrate the summary-driven
+// analyzers (ctxpoll, lockdisc, errflow) run on: a static call graph over
+// every package handed to RunAnalyzers, with one FuncNode per declared
+// function or method whose body was parsed from source.
+//
+// Identity is the subtle part. The same function is represented by
+// different *types.Func objects depending on how it was reached — checked
+// from source, or imported from export data by a dependent package — so
+// nodes and edges are keyed by a canonical string (package path, receiver
+// type, name) instead of object pointers. Function literals are attributed
+// to their enclosing declaration: a closure's channel operations, locks,
+// and polls belong to the function that runs it. The one exception is a
+// literal spawned with `go`, whose body runs asynchronously and therefore
+// contributes nothing to the spawner's own blocking or polling behavior
+// (its loops are still scanned syntactically by ctxpoll).
+//
+// The graph is deliberately optimistic where static resolution ends:
+// interface method calls, function-typed values, and callees whose bodies
+// live outside the analyzed packages (stdlib beyond a small known-blocking
+// list) contribute no edges. An invariant analyzer built on it therefore
+// under-reports rather than drowning real findings in noise.
+
+// Program is the cross-package index built once per RunAnalyzers call.
+type Program struct {
+	// Funcs maps canonical function keys to their nodes.
+	Funcs map[string]*FuncNode
+
+	// ctxEntries caches, per function key, the sorted names of *Ctx entry
+	// points (functions with a context.Context parameter) that reach it.
+	ctxEntries map[string][]string
+}
+
+// FuncNode is one declared function or method with a source body.
+type FuncNode struct {
+	Key     string
+	Obj     *types.Func
+	Decl    *ast.FuncDecl
+	Pkg     *Package
+	Calls   []CallSite
+	Summary Summary
+
+	// UsesCtx: the body mentions an expression of type context.Context (a
+	// parameter, a receiver field, a local), so the function could poll.
+	UsesCtx bool
+
+	// HasCtxParam: the signature carries a context.Context parameter; these
+	// are the cancellation entry points reachability starts from.
+	HasCtxParam bool
+
+	// retCallees lists callees whose error results may propagate out of
+	// this function's return statements; wrapped marks propagation through
+	// a fmt.Errorf("...%w", err) wrap.
+	retCallees []retCallee
+}
+
+// CallSite is one statically resolved call edge.
+type CallSite struct {
+	Call      *ast.CallExpr
+	CalleeKey string
+	Callee    *types.Func
+}
+
+type retCallee struct {
+	key     string
+	wrapped bool
+}
+
+// FuncKey canonically identifies fn across packages: import path, the
+// receiver's named type for methods, and the function name. Instantiated
+// generics collapse onto their origin.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	var b strings.Builder
+	if pkg := fn.Pkg(); pkg != nil {
+		b.WriteString(pkg.Path())
+	}
+	b.WriteByte('.')
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			b.WriteString(t.Obj().Name())
+			b.WriteByte('.')
+		case *types.Interface:
+			// Interface method calls resolve to no concrete body; give them
+			// a key that never matches a FuncNode.
+			b.WriteString("<interface>.")
+		}
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}
+
+// buildProgram indexes every declared function in pkgs, records its
+// resolved call sites and local summary facts, and runs the bottom-up
+// fixpoint that completes the summaries.
+func buildProgram(pkgs []*Package) *Program {
+	prog := &Program{Funcs: make(map[string]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{
+					Key:         FuncKey(obj),
+					Obj:         obj,
+					Decl:        fd,
+					Pkg:         pkg,
+					HasCtxParam: hasCtxParam(obj.Type().(*types.Signature)),
+				}
+				collectLocalFacts(node)
+				prog.Funcs[node.Key] = node
+			}
+		}
+	}
+	solveSummaries(prog)
+	return prog
+}
+
+// Func returns the node for fn, or nil when fn has no analyzed body.
+func (p *Program) Func(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return p.Funcs[FuncKey(fn)]
+}
+
+// sortedKeys returns the function keys in deterministic order.
+func (p *Program) sortedKeys() []string {
+	keys := make([]string, 0, len(p.Funcs))
+	for k := range p.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- local fact extraction --------------------------------------------------
+
+// collectLocalFacts walks node's body once, recording call edges and the
+// directly observable summary facts. Literals spawned via `go` are skipped:
+// their effects do not happen on the caller's goroutine.
+func collectLocalFacts(node *FuncNode) {
+	info := node.Pkg.Info
+	s := &node.Summary
+	s.init()
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// The spawned call's argument evaluation is synchronous, but
+				// the callee runs on its own goroutine: neither a spawned
+				// literal's body nor a spawned function's summary contributes
+				// to the spawner's blocking or polling behavior.
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.ForStmt, *ast.RangeStmt:
+				s.DoesLoop = true
+				if rs, ok := n.(*ast.RangeStmt); ok {
+					if t := info.TypeOf(rs.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							s.MayBlock = true
+						}
+					}
+				}
+				return true
+			case *ast.SendStmt:
+				if !inNonblockingSelect(node, n) {
+					s.MayBlock = true
+				}
+				return true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !inNonblockingSelect(node, n) {
+					s.MayBlock = true
+				}
+				return true
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					s.MayBlock = true
+				}
+				if selectPollsCtx(info, n) {
+					s.PollsCtx = true
+				}
+				return true
+			case *ast.CallExpr:
+				recordCall(node, n)
+				return true
+			}
+			return true
+		})
+	}
+	walk(node.Decl.Body)
+
+	// Does the body mention any context-typed expression at all?
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		if node.UsesCtx {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if t := info.TypeOf(e); t != nil && isContextType(t) {
+				node.UsesCtx = true
+				return false
+			}
+		}
+		return true
+	})
+
+	collectReturnFacts(node)
+}
+
+// recordCall classifies one call expression: a poll, a blocking stdlib
+// primitive, a lock operation, or an edge to another analyzed function.
+func recordCall(node *FuncNode, call *ast.CallExpr) {
+	info := node.Pkg.Info
+	s := &node.Summary
+
+	if isCtxPollCall(info, call) {
+		s.PollsCtx = true
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if lock, acquire, ok := lockOp(info, call, node); ok {
+		if acquire {
+			s.Acquires[lock] = true
+		} else {
+			s.Releases[lock] = true
+		}
+		return
+	}
+	if blockingStdlibCall(fn) {
+		s.MayBlock = true
+		return
+	}
+	key := FuncKey(fn)
+	node.Calls = append(node.Calls, CallSite{Call: call, CalleeKey: key, Callee: fn})
+}
+
+// isCtxPollCall recognizes a direct cancellation poll: ctx.Err() or
+// ctx.Done() on any expression of type context.Context.
+func isCtxPollCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && isContextType(t)
+}
+
+// selectHasDefault reports whether the select has a default clause, making
+// every communication in it non-blocking.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selectPollsCtx reports whether some case of the select receives from a
+// ctx.Done() channel.
+func selectPollsCtx(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		polls := false
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isCtxPollCall(info, call) {
+				polls = true
+				return false
+			}
+			return true
+		})
+		if polls {
+			return true
+		}
+	}
+	return false
+}
+
+// inNonblockingSelect reports whether n sits directly in a comm clause of a
+// select that has a default (so the operation cannot block).
+func inNonblockingSelect(node *FuncNode, n ast.Node) bool {
+	return commInDefaultSelect(node.Pkg.parents(), n)
+}
+
+// commInDefaultSelect walks up from n: if it is (part of) the comm
+// statement of a select clause, the operation blocks only when the select
+// has no default. A node already past a statement boundary (a clause or
+// function *body*) is an ordinary blocking site.
+func commInDefaultSelect(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if cc, ok := parents[cur].(*ast.CommClause); ok && cc.Comm == cur {
+			if sel, ok := parents[parents[cc]].(*ast.SelectStmt); ok {
+				return selectHasDefault(sel)
+			}
+		}
+		if _, ok := cur.(*ast.BlockStmt); ok {
+			return false
+		}
+	}
+	return false
+}
+
+// blockingStdlibCall lists the stdlib primitives that park the goroutine.
+// Mutex Lock/RLock are deliberately absent: lock acquisition discipline is
+// lockdisc's order analysis, not general blocking.
+func blockingStdlibCall(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync":
+		return fn.Name() == "Wait" // WaitGroup.Wait, Cond.Wait
+	case "time":
+		return fn.Name() == "Sleep"
+	}
+	return false
+}
+
+// --- lock identity ----------------------------------------------------------
+
+// lockOp recognizes m.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex and
+// returns the lock's canonical identity.
+func lockOp(info *types.Info, call *ast.CallExpr, node *FuncNode) (lock string, acquire, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	var acq bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return "", false, false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	id := lockIdent(info, sel.X, node)
+	if id == "" {
+		return "", false, false
+	}
+	return id, acq, true
+}
+
+// lockIdent names the mutex behind expr: "pkg.Type.field" for a field of a
+// named type (shared identity across instances), "pkg.var" for a
+// package-level mutex, and a function-scoped name for locals. An embedded
+// sync.Mutex (expr is the lock-holding struct itself) uses the field name
+// "Mutex"/"RWMutex".
+func lockIdent(info *types.Info, expr ast.Expr, node *FuncNode) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		t := info.TypeOf(e.X)
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+		return ""
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return node.Key + ":" + obj.Name()
+	case *ast.CompositeLit, *ast.CallExpr:
+		return ""
+	}
+	// Receiver-is-the-mutex (embedded): expr types as the outer struct.
+	if t := info.TypeOf(expr); t != nil {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// --- sentinel return tracking -----------------------------------------------
+
+// sentinelPath is the package whose exported Err* variables form the
+// solver's error taxonomy.
+const sentinelPath = "repro/internal/anytime"
+
+// sentinelVar returns the sentinel's name when expr denotes one of the
+// anytime error sentinels.
+func sentinelVar(info *types.Info, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != sentinelPath {
+		return ""
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") {
+		return ""
+	}
+	return obj.Name()
+}
+
+// errorfWrapsError reports whether the call is fmt.Errorf and whether its
+// format literal contains a %w verb.
+func errorfWrapsError(info *types.Info, call *ast.CallExpr) (isErrorf, wraps bool) {
+	if !isPkgCall(info, call, "fmt", "Errorf") || len(call.Args) == 0 {
+		return false, false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return true, true // non-literal format: assume the best
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true, true
+	}
+	return true, formatHasWrapVerb(format)
+}
+
+// formatHasWrapVerb scans a printf format for a %w conversion.
+func formatHasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// Skip flags, width, precision, and argument indexes to the verb.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) && format[j] == 'w' {
+			return true
+		}
+		i = j
+	}
+	return false
+}
+
+// errSrc is the lattice value of "which sentinels may flow here".
+type errSrc struct {
+	sentinels map[string]SentinelMode
+	callees   []retCallee
+}
+
+func (s *errSrc) add(name string, mode SentinelMode) {
+	if s.sentinels == nil {
+		s.sentinels = map[string]SentinelMode{}
+	}
+	s.sentinels[name] |= mode
+}
+
+func (s *errSrc) merge(o *errSrc) {
+	if o == nil {
+		return
+	}
+	for name, mode := range o.sentinels {
+		s.add(name, mode)
+	}
+	s.callees = append(s.callees, o.callees...)
+}
+
+func (s *errSrc) wrap() *errSrc {
+	out := &errSrc{}
+	for name := range s.sentinels {
+		out.add(name, SentinelWrapped)
+	}
+	for _, c := range s.callees {
+		out.callees = append(out.callees, retCallee{key: c.key, wrapped: true})
+	}
+	return out
+}
+
+// collectReturnFacts runs the per-function flow that feeds the Sentinels
+// summary: which anytime sentinels — bare or %w-wrapped — may a return
+// statement yield, and which callees' errors propagate out. The tracking is
+// deliberately simple: sentinel idents, fmt.Errorf wraps, direct call
+// results, and one level of local-variable indirection (two passes handle
+// assign-then-return in either source order).
+func collectReturnFacts(node *FuncNode) {
+	info := node.Pkg.Info
+	vars := map[types.Object]*errSrc{}
+
+	var eval func(expr ast.Expr) *errSrc
+	eval = func(expr ast.Expr) *errSrc {
+		expr = ast.Unparen(expr)
+		if name := sentinelVar(info, expr); name != "" {
+			s := &errSrc{}
+			s.add(name, SentinelDirect)
+			return s
+		}
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return vars[info.Uses[e]]
+		case *ast.CallExpr:
+			if isErrorf, wraps := errorfWrapsError(info, e); isErrorf {
+				if !wraps {
+					return nil
+				}
+				s := &errSrc{}
+				for _, arg := range e.Args[1:] {
+					if inner := eval(arg); inner != nil {
+						s.merge(inner.wrap())
+					}
+				}
+				return s
+			}
+			if fn := calleeFunc(info, e); fn != nil {
+				if returnsError(fn) {
+					return &errSrc{callees: []retCallee{{key: FuncKey(fn)}}}
+				}
+			}
+		}
+		return nil
+	}
+
+	// Two passes: the second sees variables the first pass populated, which
+	// covers err-then-return chains regardless of helper ordering.
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			record := func(lhs ast.Expr, src *errSrc) {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || src == nil {
+					return
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					return
+				}
+				if vars[obj] == nil {
+					vars[obj] = &errSrc{}
+				}
+				vars[obj].merge(src)
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// x, err := G(...): the callee's error flows into every
+				// error-typed LHS (there is at most one in practice).
+				if src := eval(as.Rhs[0]); src != nil {
+					for _, lhs := range as.Lhs {
+						if t := info.TypeOf(lhs); t != nil && isErrorType(t) {
+							record(lhs, src)
+						}
+					}
+				}
+				return true
+			}
+			for i := range as.Rhs {
+				if i < len(as.Lhs) {
+					record(as.Lhs[i], eval(as.Rhs[i]))
+				}
+			}
+			return true
+		})
+	}
+
+	ret := &errSrc{}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range rs.Results {
+			if t := info.TypeOf(res); t != nil && !isErrorType(t) {
+				continue
+			}
+			ret.merge(eval(res))
+		}
+		return true
+	})
+	for name, mode := range ret.sentinels {
+		node.Summary.Sentinels[name] |= mode
+	}
+	node.retCallees = dedupRetCallees(ret.callees)
+}
+
+func dedupRetCallees(in []retCallee) []retCallee {
+	seen := map[retCallee]bool{}
+	var out []retCallee
+	for _, c := range in {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key != out[j].key {
+			return out[i].key < out[j].key
+		}
+		return !out[i].wrapped
+	})
+	return out
+}
+
+// returnsError reports whether fn's signature includes an error result.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// --- parent cache -----------------------------------------------------------
+
+// parents lazily builds and caches the package's node-parent map; several
+// framework passes and analyzers share it.
+func (p *Package) parents() map[ast.Node]ast.Node {
+	if p.parentCache == nil {
+		p.parentCache = parentMap(p.Files)
+	}
+	return p.parentCache
+}
+
+// describeEntries renders a capped entry-point list for diagnostics.
+func describeEntries(entries []string) string {
+	const maxShown = 3
+	if len(entries) <= maxShown {
+		return strings.Join(entries, ", ")
+	}
+	return fmt.Sprintf("%s, +%d more", strings.Join(entries[:maxShown], ", "), len(entries)-maxShown)
+}

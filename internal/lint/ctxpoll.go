@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxPoll is the machine-checked version of the anytime contract's hard
+// half: not just that *Ctx entry points thread their context (ctxflow), but
+// that the work loops the context is threaded *through* actually look at
+// it. A deadline is worthless against a convergence loop three calls below
+// FlowCtx that never polls.
+//
+// Scope: every function reachable from a context-accepting entry point over
+// the static call graph (Pass.Summaries). In such a function a loop must
+// poll cancellation — ctx.Err(), ctx.Done(), a select with a ctx.Done()
+// case, or a call to a callee whose summary polls — when the loop is one of
+// the shapes that can outlive a deadline:
+//
+//   - any loop containing a blocking operation (channel send/receive, a
+//     select without default, a call to a may-block callee);
+//   - a condition-only `for` (`for {`, `for cond {`) whose body does real
+//     iterative work: a nested loop, or a call to a callee that loops
+//     (transitively, per summary).
+//
+// Bounded sweeps — counted `for i := 0; i < n; i++` passes, range loops
+// over slices, condition-only loops of O(1) steps like pointer chasing or
+// heap sifts — stay legal between checkpoints, matching the repo's
+// established poll granularity (every ~256..4096 operations, not every
+// one). A flagged loop in a function that cannot even see a context names
+// the entry points it is reachable from: the fix is to thread ctx down or
+// to poll in a caller that has it.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded or blocking loops reachable from a ctx entry point must poll cancellation directly or via a callee",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := pass.Summaries.Node(obj)
+			if node == nil {
+				continue
+			}
+			entries := pass.Summaries.CtxEntries(obj)
+			if len(entries) == 0 {
+				continue // no cancellable entry point reaches this function
+			}
+			checkLoops(pass, node, entries)
+		}
+	}
+}
+
+// checkLoops scans every loop in the function (closures included — their
+// loops run under the same contract) and reports the suspect ones that
+// never poll.
+func checkLoops(pass *Pass, node *FuncNode, entries []string) {
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			return true
+		}
+		if !suspectLoop(pass, node, n) || loopPolls(pass, n) {
+			return true
+		}
+		if node.UsesCtx {
+			pass.Reportf(n.Pos(), "loop can outlive the deadline but never polls cancellation; check ctx.Err() (or call a callee that polls) — reachable from %s", describeEntries(entries))
+		} else {
+			pass.Reportf(n.Pos(), "loop is reachable from %s but the function has no ctx to poll; thread the context down or poll in a caller that holds it", describeEntries(entries))
+		}
+		return true
+	})
+}
+
+// suspectLoop reports whether the loop has a shape that can outlive a
+// deadline: it blocks, or it is condition-only and does real iterative work
+// per iteration (a nested loop, or a call to a transitively-looping or
+// blocking callee).
+func suspectLoop(pass *Pass, node *FuncNode, loop ast.Node) bool {
+	if loopBlocks(pass, loop) {
+		return true
+	}
+	fs, ok := loop.(*ast.ForStmt)
+	if !ok || fs.Init != nil || fs.Post != nil {
+		return false // counted for / range: a bounded sweep
+	}
+	heavy := false
+	walkSync(loop, func(n ast.Node) bool {
+		if heavy {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != loop {
+				heavy = true
+				return false
+			}
+		case *ast.CallExpr:
+			if s := calleeSummary(pass, n); s != nil && (s.DoesLoop || s.MayBlock) {
+				heavy = true
+				return false
+			}
+		}
+		return true
+	})
+	return heavy
+}
+
+// loopBlocks reports whether the loop's synchronous extent contains a
+// blocking operation.
+func loopBlocks(pass *Pass, loop ast.Node) bool {
+	blocks := false
+	walkSync(loop, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inNonblockingSelectOf(pass, n) {
+				blocks = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inNonblockingSelectOf(pass, n) {
+				blocks = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					blocks = true
+				}
+			}
+		case *ast.CallExpr:
+			if s := calleeSummary(pass, n); s != nil && s.MayBlock {
+				blocks = true
+			} else if fn := calleeFunc(pass.Info, n); fn != nil && blockingStdlibCall(fn) {
+				blocks = true
+			}
+		}
+		return !blocks
+	})
+	return blocks
+}
+
+// loopPolls reports whether the loop polls cancellation somewhere in its
+// synchronous extent (condition included): a direct ctx.Err()/ctx.Done()
+// call, a select case on ctx.Done(), or a call to a callee whose summary
+// polls.
+func loopPolls(pass *Pass, loop ast.Node) bool {
+	polls := false
+	walkSync(loop, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isCtxPollCall(pass.Info, n) {
+				polls = true
+				return false
+			}
+			if s := calleeSummary(pass, n); s != nil && s.PollsCtx {
+				polls = true
+				return false
+			}
+		case *ast.SelectStmt:
+			if selectPollsCtx(pass.Info, n) {
+				polls = true
+				return false
+			}
+		}
+		return true
+	})
+	return polls
+}
+
+// calleeSummary resolves the call's target summary, or nil.
+func calleeSummary(pass *Pass, call *ast.CallExpr) *Summary {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	return pass.Summaries.Of(fn)
+}
+
+// walkSync visits the loop's synchronous extent: everything except the
+// bodies of goroutine-spawned function literals, whose operations do not
+// run on (or block) the looping goroutine. Other nested literals stay in:
+// callbacks handed to synchronous callees execute within the iteration.
+func walkSync(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+				for _, arg := range g.Call.Args {
+					walkSync(arg, visit)
+				}
+				return false
+			}
+		}
+		return visit(n)
+	})
+}
+
+// inNonblockingSelectOf mirrors inNonblockingSelect for analyzer passes.
+func inNonblockingSelectOf(pass *Pass, n ast.Node) bool {
+	return commInDefaultSelect(pass.pkg.parents(), n)
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow enforces the anytime error contract at use sites. The solver's
+// sentinel errors (anytime.ErrInfeasible, ErrOversizedNode, ...) cross many
+// layers — solver core, daemon handlers, clients — and any of those layers
+// may wrap them with fmt.Errorf("...: %w", err) for context. Two mistakes
+// survive review but break callers at a distance:
+//
+//   - comparing a sentinel with == or != (or a switch case): works until
+//     any function on the path starts wrapping, then silently never
+//     matches. When the compared value comes from a call whose summary says
+//     the sentinel only ever escapes wrapped, the comparison is reported as
+//     already-dead, not merely fragile;
+//   - fmt.Errorf with an error argument but no %w verb: the chain is cut,
+//     and every errors.Is/As above this point stops seeing the sentinel.
+//
+// The anytime package itself is exempt from the comparison rule — it owns
+// the sentinels and may compare identities internally.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "anytime sentinels must be matched with errors.Is, and fmt.Errorf must wrap error operands with %w",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	ownPkg := pass.Pkg.Path() == sentinelPath
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if ownPkg || (n.Op != token.EQL && n.Op != token.NEQ) {
+					return true
+				}
+				name, other := sentinelOperand(pass.Info, n.X, n.Y)
+				if name == "" {
+					return true
+				}
+				reportSentinelCompare(pass, n.Pos(), n.Op.String(), name, other)
+			case *ast.SwitchStmt:
+				if ownPkg || n.Tag == nil {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelVar(pass.Info, e); name != "" {
+							reportSentinelCompare(pass, e.Pos(), "switch case", name, n.Tag)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// sentinelOperand returns the sentinel name if either side of a comparison
+// is an anytime sentinel, along with the opposite operand.
+func sentinelOperand(info *types.Info, x, y ast.Expr) (string, ast.Expr) {
+	if name := sentinelVar(info, x); name != "" {
+		return name, y
+	}
+	if name := sentinelVar(info, y); name != "" {
+		return name, x
+	}
+	return "", nil
+}
+
+func reportSentinelCompare(pass *Pass, pos token.Pos, how, name string, other ast.Expr) {
+	if mode, ok := sentinelEscape(pass, other, name); ok && mode == SentinelWrapped {
+		pass.Reportf(pos, "anytime.%s escapes %s only wrapped, so %s can never match; use errors.Is(err, anytime.%s)", name, calleeName(pass, other), how, name)
+		return
+	}
+	pass.Reportf(pos, "anytime.%s compared with %s; any wrapping on the path breaks this silently — use errors.Is(err, anytime.%s)", name, how, name)
+}
+
+// sentinelEscape resolves how the sentinel may leave the call the compared
+// value came from, per the callee's summary. Only a direct call expression
+// is traced — a stored err variable may have come from anywhere.
+func sentinelEscape(pass *Pass, expr ast.Expr, name string) (SentinelMode, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return 0, false
+	}
+	s := pass.Summaries.Of(fn)
+	if s == nil {
+		return 0, false
+	}
+	mode, ok := s.Sentinels[name]
+	return mode, ok
+}
+
+func calleeName(pass *Pass, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "the callee"
+	}
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return fn.Name()
+	}
+	return "the callee"
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand without a
+// %w verb: the wrap chain is cut and errors.Is stops working above this
+// point. A non-literal format string is trusted (errorfWrapsError assumes
+// the best), and calls with no error-typed arguments are fine as-is.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	isErrorf, wraps := errorfWrapsError(pass.Info, call)
+	if !isErrorf || wraps {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := pass.Info.TypeOf(arg); t != nil && isErrorType(t) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w, cutting the wrap chain; use %%w so errors.Is keeps seeing the cause")
+			return
+		}
+	}
+}

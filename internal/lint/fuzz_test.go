@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowAnnotation pins the allowance parser's safety contract: whatever
+// a comment contains, parseAllow must not panic, must not mis-attribute an
+// allowance to a name it did not contain, and must never produce a third
+// state that could suppress a diagnostic without either a usable reason or
+// a malformed-annotation report.
+func FuzzAllowAnnotation(f *testing.F) {
+	f.Add("//htpvet:allow detrand -- seeded in the harness")
+	f.Add("//htpvet:allow ctxpoll -- bounded DFS, see doc")
+	f.Add("//htpvet:allow")
+	f.Add("//htpvet:allow  ")
+	f.Add("//htpvet:allow detrand")
+	f.Add("//htpvet:allow detrand --")
+	f.Add("//htpvet:allow -- reason with no name")
+	f.Add("//htpvet:allowx -- marker ran into the name")
+	f.Add("//htpvet:allow a--b")
+	f.Add("//htpvet:allow a -- b -- c")
+	f.Add("// htpvet:allow detrand -- leading space disarms the marker")
+	f.Add("//htpvet:allow\tdetrand\t--\ttabs")
+	f.Add("//htpvet:allow détrand -- unicode name")
+	f.Add("/*htpvet:allow detrand -- block comment*/")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		name, reason, isAllow, malformed := parseAllow(text)
+
+		marker := strings.TrimSuffix(allowMarker, " ")
+		if isAllow != strings.HasPrefix(text, marker) {
+			t.Fatalf("isAllow=%v disagrees with marker prefix for %q", isAllow, text)
+		}
+		if !isAllow {
+			// A non-annotation must not smuggle out parse results.
+			if name != "" || reason != "" || malformed {
+				t.Fatalf("non-annotation %q produced (%q, %q, malformed=%v)", text, name, reason, malformed)
+			}
+			return
+		}
+		if malformed {
+			// Malformed annotations are unusable by construction: nothing to
+			// match an analyzer against, nothing to silently suppress with.
+			if name != "" || reason != "" {
+				t.Fatalf("malformed annotation %q still yielded (%q, %q)", text, name, reason)
+			}
+			return
+		}
+		// Well-formed: both parts usable and trimmed.
+		if name == "" || reason == "" {
+			t.Fatalf("well-formed annotation %q yielded empty name or reason", text)
+		}
+		if name != strings.TrimSpace(name) || reason != strings.TrimSpace(reason) {
+			t.Fatalf("untrimmed parse of %q: (%q, %q)", text, name, reason)
+		}
+		// No mis-attribution: the name must literally occur in the comment
+		// before the reason separator.
+		head, _, _ := strings.Cut(strings.TrimPrefix(text, marker), "--")
+		if strings.TrimSpace(head) != name {
+			t.Fatalf("name %q not the annotation's own head in %q", name, text)
+		}
+		// Round-trip: re-rendering the canonical form parses identically, so
+		// normalization cannot drift between writes and reads.
+		n2, r2, isAllow2, malformed2 := parseAllow(allowMarker + name + " -- " + reason)
+		if !isAllow2 || malformed2 || n2 != name || r2 != reason {
+			t.Fatalf("round-trip of (%q, %q) parsed to (%q, %q, allow=%v, malformed=%v)",
+				name, reason, n2, r2, isAllow2, malformed2)
+		}
+	})
+}

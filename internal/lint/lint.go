@@ -38,13 +38,23 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one package's parsed and type-checked state to an analyzer.
+// Pass carries one package's parsed and type-checked state to an analyzer,
+// plus the run-wide interprocedural view.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Summaries exposes the bottom-up function summaries and the static
+	// call graph computed over every package of this run (see summary.go).
+	// The summary-driven analyzers — ctxpoll, lockdisc, errflow — consume
+	// it; the per-package analyzers ignore it.
+	Summaries *Summaries
+
+	// pkg is the full loaded package (parent cache included).
+	pkg *Package
 
 	diags []Diagnostic
 }
@@ -80,6 +90,27 @@ type allowance struct {
 	pos      token.Pos
 }
 
+// parseAllow parses one comment's text as an htpvet:allow annotation. isAllow
+// reports whether the comment claims to be one (it carries the marker
+// prefix); malformed reports that it does but lacks an analyzer name or the
+// mandatory "-- reason" tail. Every isAllow comment is either well-formed
+// (usable name and reason) or malformed — there is no third state that could
+// silently suppress a diagnostic.
+func parseAllow(text string) (name, reason string, isAllow, malformed bool) {
+	marker := strings.TrimSuffix(allowMarker, " ")
+	if !strings.HasPrefix(text, marker) {
+		return "", "", false, false
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(text, marker))
+	name, reason, cut := strings.Cut(body, "--")
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if name == "" || !cut || reason == "" {
+		return "", "", true, true
+	}
+	return name, reason, true, false
+}
+
 // allowances extracts the file's htpvet:allow annotations. Malformed ones
 // (no analyzer name, or a missing "-- reason" tail) are reported as
 // diagnostics in their own right so they cannot silently suppress anything.
@@ -87,15 +118,11 @@ func allowances(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []all
 	var out []allowance
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, strings.TrimSuffix(allowMarker, " ")) {
+			name, reason, isAllow, malformed := parseAllow(c.Text)
+			if !isAllow {
 				continue
 			}
-			body := strings.TrimPrefix(c.Text, strings.TrimSuffix(allowMarker, " "))
-			body = strings.TrimSpace(body)
-			name, reason, ok := strings.Cut(body, "--")
-			name = strings.TrimSpace(name)
-			reason = strings.TrimSpace(reason)
-			if name == "" || !ok || reason == "" {
+			if malformed {
 				report(Diagnostic{
 					Analyzer: "htpvet",
 					Pos:      fset.Position(c.Pos()),
@@ -121,6 +148,10 @@ func allowances(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []all
 // annotation that suppresses nothing is reported as unused, so stale
 // escapes cannot linger after the code they excused is gone.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// One interprocedural pass over the whole run: the call graph and the
+	// bottom-up summaries are shared by every (package, analyzer) pair.
+	summaries := &Summaries{prog: buildProgram(pkgs)}
+
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var allows []allowance
@@ -147,11 +178,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				Summaries: summaries,
+				pkg:       pkg,
 			}
 			a.Run(pass)
 		diag:
@@ -201,7 +234,7 @@ func sameFile(fset *token.FileSet, a token.Pos, b token.Position) bool {
 }
 
 // Analyzers is the htpvet suite in reporting order.
-var Analyzers = []*Analyzer{DetRand, CtxFlow, ObsEmit, NakedGoroutine}
+var Analyzers = []*Analyzer{DetRand, CtxFlow, CtxPoll, LockDisc, ErrFlow, ObsEmit, NakedGoroutine}
 
 // Lookup returns the analyzer with the given name, or nil.
 func Lookup(name string) *Analyzer {
@@ -211,4 +244,31 @@ func Lookup(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// SelectAnalyzers resolves htpvet's -only flag value: a comma-separated list
+// of analyzer names, each of which must exist. The empty string selects the
+// full suite; a non-empty list that dissolves into nothing after trimming
+// (",", " , ") is an error rather than a silent no-op run that would report
+// a clean bill without checking anything.
+func SelectAnalyzers(only string) ([]*Analyzer, error) {
+	if only == "" {
+		return Analyzers, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := Lookup(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only %q selects no analyzers", only)
+	}
+	return out, nil
 }

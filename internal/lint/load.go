@@ -25,6 +25,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	parentCache map[ast.Node]ast.Node // lazily built by parents()
 }
 
 // Loader parses and type-checks packages without golang.org/x/tools: it

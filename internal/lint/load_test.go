@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's error paths must fail loudly with actionable messages: a
+// silent fallback in any of them would let htpvet report a clean run over
+// code it never actually type-checked.
+
+func TestLookupMissingExportData(t *testing.T) {
+	l, _ := sharedLoader(t)
+	_, err := l.lookup("no/such/package")
+	if err == nil || !strings.Contains(err.Error(), "no export data") {
+		t.Fatalf("lookup error = %v, want a no-export-data failure", err)
+	}
+}
+
+func TestCheckDirMissingDir(t *testing.T) {
+	l, _ := sharedLoader(t)
+	if _, err := l.CheckDir(filepath.Join("testdata", "does-not-exist"), "repro/fixtures/none"); err == nil {
+		t.Fatal("CheckDir on a missing directory succeeded")
+	}
+}
+
+func TestCheckDirNoGoFiles(t *testing.T) {
+	l, _ := sharedLoader(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.CheckDir(dir, "repro/fixtures/empty")
+	if err == nil || !strings.Contains(err.Error(), "no .go files") {
+		t.Fatalf("CheckDir error = %v, want a no-.go-files failure", err)
+	}
+}
+
+func TestCheckDirParseError(t *testing.T) {
+	l, _ := sharedLoader(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package broken\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.CheckDir(dir, "repro/fixtures/broken")
+	if err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("CheckDir error = %v, want a parse failure", err)
+	}
+}
+
+func TestCheckDirTypeError(t *testing.T) {
+	l, _ := sharedLoader(t)
+	dir := t.TempDir()
+	src := "package broken\n\nfunc f() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.CheckDir(dir, "repro/fixtures/broken")
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("CheckDir error = %v, want a type-check failure", err)
+	}
+}
+
+// A package that go list itself reports as broken (here: a syntax error the
+// export builder chokes on) must abort the load, not silently drop the
+// package from the run.
+func TestNewLoaderSurfacesListErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module tmpmod\n\ngo 1.22\n")
+	writeFile("bad.go", "package tmpmod\n\nfunc f( {\n")
+	_, _, err := NewLoader(dir, "./...")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("NewLoader error = %v, want a go list failure", err)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := SelectAnalyzers("")
+	if err != nil || len(all) != len(Analyzers) {
+		t.Fatalf("empty selection = (%d analyzers, %v), want the full suite", len(all), err)
+	}
+	two, err := SelectAnalyzers("detrand, ctxpoll")
+	if err != nil || len(two) != 2 || two[0].Name != "detrand" || two[1].Name != "ctxpoll" {
+		t.Fatalf("two-name selection = (%v, %v)", two, err)
+	}
+	if _, err := SelectAnalyzers("nope"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("unknown name error = %v", err)
+	}
+	// A list that trims away to nothing must error, not run zero analyzers
+	// and report a vacuously clean result.
+	if _, err := SelectAnalyzers(" , "); err == nil || !strings.Contains(err.Error(), "selects no analyzers") {
+		t.Fatalf("empty-after-trim error = %v", err)
+	}
+}

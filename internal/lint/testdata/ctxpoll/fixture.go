@@ -1,0 +1,92 @@
+// Fixture for the ctxpoll analyzer: loops reachable from a context-accepting
+// entry point must poll cancellation — directly, via a select on ctx.Done(),
+// or through a callee whose summary polls — when they block or are
+// condition-only with real iterative work. Bounded sweeps stay legal.
+package fixture
+
+import "context"
+
+// SolveCtx is a cancellable entry point: its loops and its callees' loops
+// are all in scope.
+func SolveCtx(ctx context.Context, work []int) int {
+	total := 0
+	for _, w := range work { // bounded sweep between checkpoints: fine
+		total += w
+	}
+	for { // want `never polls cancellation`
+		if relax(work) == 0 {
+			break
+		}
+	}
+	for { // polls directly: fine
+		if ctx.Err() != nil || relax(work) == 0 {
+			break
+		}
+	}
+	for { // polls via pollStep's summary: fine
+		if pollStep(ctx, work) == 0 {
+			break
+		}
+	}
+	descend(work)
+	return total
+}
+
+// relax is O(n) per call, so a condition-only loop around it is real
+// iterative work, not a pointer chase.
+func relax(work []int) int {
+	n := 0
+	for _, w := range work {
+		if w > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pollStep polls the context itself, so callers looping on it inherit the
+// checkpoint through its summary.
+func pollStep(ctx context.Context, work []int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return relax(work)
+}
+
+// descend is reachable from SolveCtx but never received the context: its
+// unbounded loop cannot poll anything.
+func descend(work []int) {
+	for { // want `has no ctx to poll`
+		if relax(work) == 0 {
+			return
+		}
+	}
+}
+
+// WaitCtx mixes channel loops: a bare drain blocks without polling, while
+// the select loop has a ctx.Done() case.
+func WaitCtx(ctx context.Context, ch chan int) {
+	for range ch { // want `never polls cancellation`
+	}
+	for { // select polls ctx.Done: fine
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-ch:
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}
+}
+
+// free has the same loop shape as descend, but no cancellable entry point
+// reaches it, so no cancellation contract applies.
+func free(work []int) {
+	for {
+		if relax(work) == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Fixture for the errflow analyzer: anytime sentinels must be matched with
+// errors.Is — identity comparison breaks as soon as any layer wraps — and
+// fmt.Errorf must use %w when it formats an error, or the chain is cut.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/anytime"
+)
+
+// solveWrapped only ever returns the sentinel wrapped, so identity
+// comparison against its result is already dead, not merely fragile.
+func solveWrapped() error {
+	return fmt.Errorf("solve: %w", anytime.ErrInfeasible)
+}
+
+func solveDirect() error {
+	return anytime.ErrInfeasible
+}
+
+func compareEq(err error) bool {
+	return err == anytime.ErrInfeasible // want `compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != anytime.ErrNoPartition // want `compared with !=`
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, anytime.ErrInfeasible) // the contract: fine
+}
+
+func deadCompare() bool {
+	return solveWrapped() == anytime.ErrInfeasible // want `== can never match`
+}
+
+func liveCompare() bool {
+	return solveDirect() == anytime.ErrInfeasible // want `use errors.Is`
+}
+
+func switchCase(err error) string {
+	switch err {
+	case anytime.ErrOversizedNode: // want `compared with switch case`
+		return "oversized"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func cutChain(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want `cutting the wrap chain`
+}
+
+func wrapsFine(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+func valueFormat(n int) error {
+	return fmt.Errorf("bad node count %d", n) // no error operand: fine
+}

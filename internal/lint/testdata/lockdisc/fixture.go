@@ -1,0 +1,120 @@
+// Fixture for the lockdisc analyzer: nothing blocking (bare channel ops,
+// selects without default, Wait/Sleep, may-block callees) and no obs
+// emission while a mutex is held, and lock acquisition order must be
+// cycle-free across the call graph.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+type hub struct {
+	mu  sync.Mutex
+	log []int
+	ch  chan int
+}
+
+func (h *hub) blockingSend(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.log = append(h.log, v)
+	h.ch <- v // want `channel send blocks while holding`
+}
+
+func (h *hub) droppingSend(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.log = append(h.log, v)
+	select { // drop-don't-stall: fine
+	case h.ch <- v:
+	default:
+	}
+}
+
+func (h *hub) unlockFirst(v int) {
+	h.mu.Lock()
+	h.log = append(h.log, v)
+	h.mu.Unlock()
+	h.ch <- v // lock released: fine
+}
+
+func (h *hub) earlyReturn(v int) {
+	h.mu.Lock()
+	if v < 0 {
+		h.mu.Unlock()
+		return // this path released; the join keeps the fall-through held
+	}
+	h.log = append(h.log, v)
+	h.mu.Unlock()
+	h.ch <- v // both paths released by here: fine
+}
+
+func (h *hub) waitInside(wg *sync.WaitGroup) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wg.Wait() // want `sync.Wait blocks while holding`
+}
+
+// send parks the goroutine; callers see MayBlock through its summary.
+func (h *hub) send(v int) { h.ch <- v }
+
+func (h *hub) indirectBlock(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.send(v) // want `send may block \(per its call-graph summary\)`
+}
+
+func (h *hub) emitInside(o obs.Observer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	obs.Emit(o, obs.Event{Kind: obs.KindBest}) // want `obs.Emit hands the event to a caller-supplied observer`
+}
+
+func (h *hub) selectBlocks(done chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `select without default blocks while holding`
+	case <-done:
+	case <-h.ch:
+	}
+}
+
+// locked takes the hub lock itself; holding it while calling is a
+// self-deadlock through the summary's Acquires set.
+func (h *hub) locked(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.log = append(h.log, v)
+}
+
+func (h *hub) doubleLock(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.locked(v) // want `may already be held \(possible self-deadlock\)`
+}
+
+// pair pins the order check: abOrder and baOrder acquire the two locks in
+// opposite orders, closing an a -> b -> a cycle in the run-wide graph.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func (p *pair) abOrder() {
+	p.a.Lock()
+	p.b.Lock() // want `inconsistent lock order across the call graph`
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) baOrder() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n--
+	p.a.Unlock()
+	p.b.Unlock()
+}

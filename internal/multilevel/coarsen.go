@@ -243,6 +243,7 @@ func coarsenLevel(h *hypergraph.Hypergraph, opt CoarsenOptions, rng *rand.Rand) 
 			}
 		}()
 		sc := newRatingScratch(n)
+		//htpvet:allow ctxpoll -- batch-claim loop off a monotone atomic counter: exits after at most ceil(n/batch) claims; Coarsen's level loop polls ctx between levels
 		for {
 			lo := int(next.Add(batch)) - batch
 			if lo >= n {

@@ -269,9 +269,10 @@ func newFunnel(sink Observer, n int, drop bool) *Funnel {
 		n = 256
 	}
 	f := &Funnel{ch: make(chan Event, n), done: make(chan struct{}), drop: drop}
-	//htpvet:allow nakedgoroutine -- vetted funnel forwarder: a panicking sink is a caller bug; containing it would silently drop the rest of the trace
+	//htpvet:allow nakedgoroutine -- vetted funnel forwarder: a panicking sink is a caller bug; containing it would silently drop the rest of the trace (re-audited for the interprocedural suite: the forwarder holds no locks and its drain loop carries its own ctxpoll allowance below)
 	go func() {
 		defer close(f.done)
+		//htpvet:allow ctxpoll -- the forwarder must drain the buffer until Close closes the channel: exiting on ctx instead would drop queued trace events and break completeness-by-backpressure
 		for e := range f.ch {
 			sink.Event(e)
 		}

@@ -130,6 +130,7 @@ func (s *HyperSPT) grow(root hypergraph.NodeID, lengths []float64, length func(h
 	heap.Push(int(root), 0)
 
 	settled := 0
+	//htpvet:allow ctxpoll -- each iteration settles a node or discards a stale heap entry, so the loop is bounded by reached nodes; cancellation is the callers' visit callback returning false (inject polls ctx there with a masked counter)
 	for heap.Len() > 0 {
 		vi, dv := heap.Pop()
 		nv := &nodes[vi]

@@ -81,6 +81,7 @@ func (t *HostTree) Validate() error {
 	stack := []int{0}
 	seen[0] = true
 	count := 1
+	//htpvet:allow ctxpoll -- seen-guarded DFS over host-tree vertices, each pushed at most once; host trees are machine topologies, orders of magnitude smaller than the hypergraph
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -118,6 +119,7 @@ func (t *HostTree) sideOf(edge, from int) []int {
 	seen[from] = true
 	out := []int{from}
 	stack := []int{from}
+	//htpvet:allow ctxpoll -- seen-guarded DFS over host-tree vertices, each pushed at most once; host trees are machine topologies, orders of magnitude smaller than the hypergraph
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -184,6 +186,7 @@ func (m *Mapping) NetCost(e hypergraph.NetID) float64 {
 	stack := []int32{0}
 	seen[0] = true
 	parentEdge[0] = -1
+	//htpvet:allow ctxpoll -- seen-guarded DFS over host-tree vertices, each pushed at most once; host trees are machine topologies, orders of magnitude smaller than the hypergraph
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -385,8 +388,8 @@ func assign(ctx context.Context, m *Mapping, sub *hypergraph.Hypergraph, orig []
 	var inA []bool
 	if sub.NumNodes() > 0 {
 		seed := hypergraph.NodeID(rng.Intn(sub.NumNodes()))
-		inA = fm.GrowSeedSide(sub, seed, target)
-		fm.RefineBipartition(sub, inA, lb, ub, fm.BiOptions{Rng: rng})
+		inA = fm.GrowSeedSideCtx(ctx, sub, seed, target)
+		fm.RefineBipartitionCtx(ctx, sub, inA, lb, ub, fm.BiOptions{Rng: rng})
 		// Enforce the hard bounds if refinement could not.
 		var sizeA int64
 		for v := 0; v < sub.NumNodes(); v++ {
