@@ -29,9 +29,14 @@ staticcheck:
 
 # Race-detector pass over every package. The concurrency hot spots (parallel
 # FLOW iterations, the batched metric engine, the SPT growers, the telemetry
-# funnel) get the real exercise; the rest is cheap insurance.
+# funnel, the flow-refinement pair pool) get the real exercise; the rest is
+# cheap insurance. The pair pool and the min-cut kernel it drives are
+# schedule-sensitive (worker counts change claim interleavings, not results),
+# so they get a second, repeated pass to shake out orderings the first run
+# happened not to hit.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/maxflow/ ./internal/flowrefine/
 
 # Full pre-merge gate: build, vet, htpvet, staticcheck, unit tests, race pass.
 check: build vet lint staticcheck test race
@@ -62,10 +67,11 @@ verify-quick:
 	$(GO) run ./cmd/htpcheck -suite -quick
 
 # Machine-readable benchmark records for the two scaling claims of §3.3:
-# Algorithm 2 (spreading metric; sequential vs parallel workers) and the
-# paper-table benchmarks. EXPERIMENTS.md quotes these files.
+# Algorithm 2 (spreading metric; sequential vs parallel workers), the
+# flow-refinement stage, and the paper-table benchmarks. EXPERIMENTS.md
+# quotes these files.
 bench:
-	$(GO) test -run=NONE -bench='Alg2Scaling|Alg3Scaling|MultilevelScaling' -benchmem -timeout 3600s . \
+	$(GO) test -run=NONE -bench='Alg2Scaling|Alg3Scaling|MultilevelScaling|FlowRefine' -benchmem -timeout 3600s . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_alg2.json
 	$(GO) test -run=NONE -bench='Table1|Table2|Table3' -benchmem -timeout 1800s . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_tables.json

@@ -216,6 +216,32 @@ func BenchmarkAlg3Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowRefine measures the flow-based pairwise refinement stage
+// alone (DESIGN.md §5k): each iteration clones an FM-refined V-cycle result
+// and runs one full RefineCtx pass over it, so the timing isolates corridor
+// extraction, the pair min-cuts, and batch application — not the V-cycle
+// that produced the input. The cost metric records the refined cost.
+func BenchmarkFlowRefine(b *testing.B) {
+	for _, name := range []string{"c1355", "c7552"} {
+		h := circuit(b, name)
+		spec := paperSpec(b, h)
+		base, err := repro.Multilevel(h, spec, repro.MultilevelOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := base.Partition.Clone()
+				cost, _, _, err := repro.FlowRefine(p, repro.FlowRefineOptions{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cost, "cost")
+			}
+		})
+	}
+}
+
 // BenchmarkAblation measures the FLOW design variants of DESIGN.md §5.
 func BenchmarkAblation(b *testing.B) {
 	h := circuit(b, "c1355")

@@ -74,6 +74,7 @@ func main() {
 		metricsOut = flag.String("metrics-dump", "", "write the final process metrics snapshot (Prometheus text exposition, incl. htp.* counters) to this file")
 		ml         = flag.Bool("multilevel", false, "solve via the multilevel V-cycle: coarsen, run -algo on the coarsest level, uncoarsen with per-level refinement")
 		coarsenTgt = flag.Int("coarsen-target", 300, "with -multilevel: node count at which coarsening stops")
+		flowRef    = flag.Bool("flow-refine", false, "run flow-based pairwise refinement after the solve (with -multilevel: as the finest uncoarsening stage); every accepted move batch is re-certified by internal/verify")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -159,6 +160,9 @@ func main() {
 	if *ml {
 		algoLabel = "multilevel(" + *algo + ")"
 	}
+	if *flowRef {
+		algoLabel += "+flowrefine"
+	}
 
 	start := time.Now()
 	var res *htp.Result
@@ -181,6 +185,10 @@ func main() {
 		}
 		if perMetricSet {
 			mo.Flow.PartitionsPerMetric = *perMetric
+		}
+		if *flowRef {
+			mo.FlowRefine = true
+			mo.FlowRefineOpt.Certify = verify.Certifier()
 		}
 		res, err = htp.MultilevelCtx(ctx, h, spec, mo)
 		if res != nil {
@@ -224,6 +232,20 @@ func main() {
 			}
 		default:
 			err = fmt.Errorf("unknown algorithm %q", *algo)
+		}
+	}
+	// Flat solvers get flow refinement as a post-pass over the final result
+	// (the multilevel path runs it inside uncoarsening instead).
+	if err == nil && *flowRef && !*ml && res != nil && res.Partition != nil {
+		var frerr error
+		res.Cost, _, _, frerr = htp.FlowRefineCtx(ctx, res.Partition, htp.FlowRefineOptions{
+			Seed:     *seed,
+			Workers:  *workers,
+			Certify:  verify.Certifier(),
+			Observer: observer,
+		})
+		if frerr != nil {
+			err = frerr
 		}
 	}
 	if *progress {

@@ -9,7 +9,7 @@
 //
 //	htpcheck -partition dump.json -netlist c.net    # verify a saved dump
 //	htpcheck -replay -netlist c.net -algo flow+     # re-run htpart's pipeline and verify
-//	htpcheck -suite [-quick]                        # all seven variants on the ISCAS suite
+//	htpcheck -suite [-quick]                        # all eight variants on the ISCAS suite
 //
 // Exit status 0 means every claim checked out; 1 means a discrepancy, with
 // one line per issue on stderr.
@@ -39,9 +39,9 @@ func main() {
 		partition = flag.String("partition", "", "verify this partition dump (JSON) against -netlist")
 		netlist   = flag.String("netlist", "", "netlist file (extended hMETIS format)")
 		replay    = flag.Bool("replay", false, "re-run the solver pipeline on -netlist and verify the result")
-		suite     = flag.Bool("suite", false, "verify all seven algorithm variants on the generated ISCAS suite")
+		suite     = flag.Bool("suite", false, "verify all eight algorithm variants on the generated ISCAS suite")
 		quick     = flag.Bool("quick", false, "suite: only the two smallest circuits")
-		algo      = flag.String("algo", "flow", "replay algorithm: flow, rfm, gfm, flow+, rfm+, gfm+, ml")
+		algo      = flag.String("algo", "flow", "replay algorithm: flow, rfm, gfm, flow+, rfm+, gfm+, ml, mlf")
 		height    = flag.Int("height", 4, "replay hierarchy height L")
 		wbase     = flag.Float64("wbase", 2, "replay level weight base")
 		slack     = flag.Float64("slack", 1.1, "replay capacity slack")
@@ -157,7 +157,7 @@ func checkSuite(ctx context.Context, quick bool, seed int64, iters, workers int)
 	if quick {
 		cases = cases[:2]
 	}
-	variants := []string{"gfm", "rfm", "flow", "gfm+", "rfm+", "flow+", "ml"}
+	variants := []string{"gfm", "rfm", "flow", "gfm+", "rfm+", "flow+", "ml", "mlf"}
 	bad := 0
 	fmt.Printf("circuit    variant   cost      wall    status\n")
 	for _, cs := range cases {
@@ -196,10 +196,17 @@ func checkSuite(ctx context.Context, quick bool, seed int64, iters, workers int)
 }
 
 // solve dispatches an algorithm variant name the way htpart does. "ml" is
-// the multilevel V-cycle with its own coarse-stage iteration defaults.
+// the multilevel V-cycle with its own coarse-stage iteration defaults; "mlf"
+// is "ml" plus the flow-based pairwise refinement stage on the finest level,
+// with every accepted move batch re-certified in-line by internal/verify.
 func solve(ctx context.Context, algo string, h *hypergraph.Hypergraph, spec hierarchy.Spec, seed int64, iters, workers int) (*htp.Result, error) {
-	if algo == "ml" {
-		return htp.MultilevelCtx(ctx, h, spec, htp.MultilevelOptions{Seed: seed, Workers: workers})
+	if algo == "ml" || algo == "mlf" {
+		mo := htp.MultilevelOptions{Seed: seed, Workers: workers}
+		if algo == "mlf" {
+			mo.FlowRefine = true
+			mo.FlowRefineOpt.Certify = verify.Certifier()
+		}
+		return htp.MultilevelCtx(ctx, h, spec, mo)
 	}
 	base := strings.TrimSuffix(algo, "+")
 	plus := strings.HasSuffix(algo, "+")

@@ -53,6 +53,7 @@ func main() {
 		queue    = flag.Int("queue", 16, "max queued jobs before submits get 429")
 		maxNodes = flag.Int("max-nodes", 1<<20, "per-job node-count budget (413 above it)")
 		mlNodes  = flag.Int("ml-nodes", 1<<15, "instance size at which jobs are served by the multilevel-first ladder")
+		flowRef  = flag.Bool("flow-refine", false, "upgrade the multilevel-first ladder's lead rung to the flow-refined V-cycle")
 		budget   = flag.Duration("budget", 30*time.Second, "default per-job deadline budget")
 		maxBud   = flag.Duration("max-budget", 5*time.Minute, "ceiling on client-requested budgets")
 		attempts = flag.Int("attempts", 3, "max solver attempts per degradation rung")
@@ -69,6 +70,7 @@ func main() {
 		MaxQueue:        *queue,
 		MaxNodes:        *maxNodes,
 		MultilevelNodes: *mlNodes,
+		FlowRefine:      *flowRef,
 		DefaultBudget:   *budget,
 		MaxBudget:       *maxBud,
 		MaxAttempts:     *attempts,

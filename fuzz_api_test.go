@@ -70,5 +70,26 @@ func FuzzSolvePipeline(f *testing.F) {
 				t.Fatalf("multilevel not deterministic: %.17g then %.17g (err %v)", mres.Cost, again.Cost, err)
 			}
 		}
+
+		// The flow-refined V-cycle route: the pairwise min-cut stage runs on
+		// the finest level with every accepted batch re-certified in-line,
+		// so corridor extraction, the Lawler expansion, and the batch applier
+		// all see fuzz-shaped inputs. Refinement is monotone, so when both
+		// routes succeed the refined cost may never exceed the plain one.
+		fopt := repro.MultilevelOptions{Seed: seed, CoarsenTarget: 8, FlowRefine: true,
+			FlowRefineOpt: repro.FlowRefineOptions{Certify: verify.Certifier()}}
+		xres, err := repro.Multilevel(h, spec, fopt)
+		if err == nil {
+			if rep := verify.Result(xres); !rep.OK() {
+				t.Fatalf("flow-refined result escaped verification: %v\nnetlist: %q", rep.Err(), netlist)
+			}
+			again, err := repro.Multilevel(h, spec, fopt)
+			if err != nil || again.Cost != xres.Cost {
+				t.Fatalf("flow-refined multilevel not deterministic: %.17g then %.17g (err %v)", xres.Cost, again.Cost, err)
+			}
+			if mres != nil && xres.Cost > mres.Cost+1e-9 {
+				t.Fatalf("flow refinement regressed cost: %.17g > %.17g\nnetlist: %q", xres.Cost, mres.Cost, netlist)
+			}
+		}
 	})
 }

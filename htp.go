@@ -36,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ratiocut"
 	"repro/internal/treemap"
+	"repro/internal/verify"
 )
 
 // ---- Anytime contract (internal/anytime) ----
@@ -319,6 +320,34 @@ func Refine(p *Partition, opt RefineOptions) (cost, improvement float64) {
 // and returns the best cost reached (the partition stays valid throughout).
 func RefineCtx(ctx context.Context, p *Partition, opt RefineOptions) (cost, improvement float64) {
 	return fm.RefineHierarchicalCtx(ctx, p, opt)
+}
+
+// FlowRefineOptions tunes flow-based pairwise refinement; see
+// internal/flowrefine for the corridor construction, acceptance rule, and
+// determinism contract.
+type FlowRefineOptions = htp.FlowRefineOptions
+
+// FlowRefineStats reports what a flow refinement run did.
+type FlowRefineStats = htp.FlowRefineStats
+
+// FlowRefine improves a partition in place by flow-based pairwise
+// refinement: adjacent block pairs are re-cut with corridor min-cuts, and
+// move batches are accepted only when they lower the hierarchical cost
+// within the K_l/C_l bounds. Unlike the internal entry points, the facade
+// certifies every accepted batch with internal/verify unless the caller
+// supplied their own Certify hook.
+func FlowRefine(p *Partition, opt FlowRefineOptions) (cost, improvement float64, stats FlowRefineStats, err error) {
+	return FlowRefineCtx(context.Background(), p, opt)
+}
+
+// FlowRefineCtx is FlowRefine under a context; cancellation stops between
+// move batches and returns the best cost reached (the partition stays valid
+// throughout).
+func FlowRefineCtx(ctx context.Context, p *Partition, opt FlowRefineOptions) (cost, improvement float64, stats FlowRefineStats, err error) {
+	if opt.Certify == nil {
+		opt.Certify = verify.Certifier()
+	}
+	return htp.FlowRefineCtx(ctx, p, opt)
 }
 
 // ---- Spreading metrics and bounds (internal/metric, internal/inject) ----

@@ -1,0 +1,340 @@
+package flowrefine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/hierarchy"
+	"repro/internal/hypergraph"
+)
+
+// fullTree builds the full tree of spec's Branch profile and returns it with
+// its leaves in creation order.
+func fullTree(spec hierarchy.Spec) (*hierarchy.Tree, []int) {
+	h := spec.Height()
+	tr := hierarchy.NewTree(h)
+	var leaves []int
+	var grow func(parent, level int)
+	grow = func(parent, level int) {
+		if level == 0 {
+			leaves = append(leaves, parent)
+			return
+		}
+		for c := 0; c < spec.Branch[level-1]; c++ {
+			grow(tr.AddChild(parent), level-1)
+		}
+	}
+	grow(tr.Root(), h)
+	return tr, leaves
+}
+
+// chunkPartition assigns nodes to leaves in contiguous index chunks — a
+// feasible but refinement-hungry start for unit-size nodes under a
+// BinaryTreeSpec with slack.
+func chunkPartition(t testing.TB, h *hypergraph.Hypergraph, spec hierarchy.Spec) *hierarchy.Partition {
+	t.Helper()
+	tr, leaves := fullTree(spec)
+	p := hierarchy.NewPartition(h, spec, tr)
+	n := h.NumNodes()
+	per := (n + len(leaves) - 1) / len(leaves)
+	for v := 0; v < n; v++ {
+		p.Assign(hypergraph.NodeID(v), leaves[v/per])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("chunk partition invalid: %v", err)
+	}
+	return p
+}
+
+// twoCliquesBridge builds two K4 cliques joined by one net; min cut = 1.
+func twoCliquesBridge() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.AddUnitNodes(8)
+	for c := 0; c < 2; c++ {
+		base := c * 4
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				b.AddNet("", 1, hypergraph.NodeID(base+i), hypergraph.NodeID(base+j))
+			}
+		}
+	}
+	b.AddNet("bridge", 1, 0, 4)
+	return b.MustBuild()
+}
+
+// interleavedPair puts the two cliques alternating across two leaves — a
+// start that single FM-style moves cannot fully untangle: every 1-move
+// toward a coherent clique first cuts more nets than it heals. The corridor
+// cut moves the whole misplaced group at once.
+func interleavedPair(t testing.TB) *hierarchy.Partition {
+	t.Helper()
+	h := twoCliquesBridge()
+	spec := hierarchy.Spec{Capacity: []int64{6, 8}, Weight: []float64{1, 2}, Branch: []int{2, 1}}
+	tr := hierarchy.NewTree(2)
+	mid := tr.AddChild(tr.Root())
+	leaves := []int{tr.AddChild(mid), tr.AddChild(mid)}
+	p := hierarchy.NewPartition(h, spec, tr)
+	for v := 0; v < 8; v++ {
+		p.Assign(hypergraph.NodeID(v), leaves[v%2])
+	}
+	return p
+}
+
+func TestRefineUntanglesCliquePair(t *testing.T) {
+	p := interleavedPair(t)
+	before := p.Cost()
+	cost, improvement, st, err := RefineCtx(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-p.Cost()) > 1e-9 {
+		t.Fatalf("reported cost %g, partition recomputes %g", cost, p.Cost())
+	}
+	if math.Abs(before-improvement-cost) > 1e-9 {
+		t.Fatal("improvement arithmetic inconsistent")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("refined partition invalid: %v", err)
+	}
+	if st.Accepted == 0 || improvement <= 0 {
+		t.Fatalf("no accepted batch on an interleaved clique pair (stats %+v)", st)
+	}
+	// The optimal assignment cuts only the bridge: cost 1 at each of the two
+	// span levels under Weight {1,2} = 3.
+	if cost > 3+1e-9 {
+		t.Fatalf("cost %g after refinement; the corridor cut should find the bridge (want 3)", cost)
+	}
+}
+
+func TestRefineCertifiesEveryAcceptedBatch(t *testing.T) {
+	p := interleavedPair(t)
+	calls := 0
+	_, _, st, err := RefineCtx(context.Background(), p, Options{
+		Certify: func(cp *hierarchy.Partition, cost float64) error {
+			calls++
+			if cp != p {
+				return errors.New("certified a different partition")
+			}
+			if err := cp.Validate(); err != nil {
+				return err
+			}
+			if actual := cp.Cost(); math.Abs(actual-cost) > 1e-9*math.Max(1, math.Abs(actual)) {
+				return fmt.Errorf("claimed cost %g, recomputed %g", cost, actual)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted == 0 || calls != st.Accepted || st.Certified != st.Accepted {
+		t.Fatalf("certify calls %d, stats %+v; every accepted batch must be certified", calls, st)
+	}
+}
+
+func TestCertifyRejectionRevertsAndErrors(t *testing.T) {
+	p := interleavedPair(t)
+	before := p.Cost()
+	boom := errors.New("certifier says no")
+	cost, _, _, err := RefineCtx(context.Background(), p, Options{
+		Certify: func(*hierarchy.Partition, float64) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the certifier's error", err)
+	}
+	if math.Abs(cost-before) > 1e-9 || math.Abs(p.Cost()-before) > 1e-9 {
+		t.Fatalf("rejected batch not reverted: before %g, after %g", before, p.Cost())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("partition invalid after revert: %v", err)
+	}
+}
+
+func TestRefineCancelledContextIsNoop(t *testing.T) {
+	p := interleavedPair(t)
+	before := p.Cost()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cost, improvement, st, err := RefineCtx(ctx, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != before || improvement != 0 || st.Pairs != 0 {
+		t.Fatalf("dead context still worked: cost %g→%g, stats %+v", before, cost, st)
+	}
+}
+
+func TestRefineRejectsInvalidInput(t *testing.T) {
+	if _, _, _, err := RefineCtx(context.Background(), nil, Options{}); err == nil {
+		t.Fatal("nil partition accepted")
+	}
+	h := twoCliquesBridge()
+	spec := hierarchy.Spec{Capacity: []int64{6, 8}, Weight: []float64{1, 2}, Branch: []int{2, 1}}
+	tr := hierarchy.NewTree(2)
+	mid := tr.AddChild(tr.Root())
+	tr.AddChild(mid)
+	p := hierarchy.NewPartition(h, spec, tr)
+	if _, _, _, err := RefineCtx(context.Background(), p, Options{}); err == nil {
+		t.Fatal("partition with unassigned nodes accepted")
+	}
+}
+
+// leafHash fingerprints the final assignment.
+func leafHash(p *hierarchy.Partition) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, leaf := range p.LeafOf {
+		buf[0] = byte(leaf)
+		buf[1] = byte(leaf >> 8)
+		buf[2] = byte(leaf >> 16)
+		buf[3] = byte(leaf >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestRefineDeterministicAcrossWorkers pins the exact final assignment on a
+// real circuit at Workers=1 and requires every other worker count to match
+// it bit for bit. Batches are apply barriers and proposals are functions of
+// the frozen snapshot, so a Workers=1 vs Workers=N divergence is always a
+// determinism bug, never "expected parallel noise". If an intentional
+// algorithm change moves the hash, re-pin it from a Workers=1 run.
+func TestRefineDeterministicAcrossWorkers(t *testing.T) {
+	const want uint64 = 0x2b6820633fcc9420
+	h := circuits.Generate(circuits.ISCAS85[0], 7) // c1355
+	spec, err := hierarchy.BinaryTreeSpec(h.TotalSize(), 3, []float64{4, 2, 1}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costs []float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := chunkPartition(t, h, spec)
+		cost, _, st, err := RefineCtx(context.Background(), p, Options{Workers: workers, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("workers=%d: invalid partition: %v", workers, err)
+		}
+		if st.Accepted == 0 {
+			t.Fatalf("workers=%d: nothing accepted on a chunked start (stats %+v)", workers, st)
+		}
+		if got := leafHash(p); got != want {
+			t.Errorf("workers=%d: assignment hash %#x, want %#x", workers, got, want)
+		}
+		costs = append(costs, cost)
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("cost diverges across worker counts: %v", costs)
+		}
+	}
+}
+
+// TestRefineNeverOverflowsCapacity is the property test for the
+// oversized-corridor trap: across random instances with tight capacities,
+// every refined partition must still satisfy all C_l bounds — a corridor
+// batch that does not fit must have been rejected whole, never clamped into
+// a partial application — and the incrementally tracked cost must match an
+// independent recomputation.
+func TestRefineNeverOverflowsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sawInfeasible := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 24 + rng.Intn(40)
+		b := hypergraph.NewBuilder()
+		for v := 0; v < n; v++ {
+			b.AddNode("", 1+int64(rng.Intn(3)))
+		}
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			pins := []hypergraph.NodeID{hypergraph.NodeID(u), hypergraph.NodeID(v)}
+			if w := rng.Intn(n); rng.Intn(3) == 0 && w != u && w != v {
+				pins = append(pins, hypergraph.NodeID(w))
+			}
+			b.AddNet("", 1+float64(rng.Intn(4)), pins...)
+		}
+		h := b.MustBuild()
+		// Tight caps: barely above a balanced split, so corridor batches
+		// regularly brush against C_l at more than one level.
+		spec, err := hierarchy.BinaryTreeSpec(h.TotalSize(), 3, []float64{1, 1, 1}, 1.05+rng.Float64()*0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, leaves := fullTree(spec)
+		p := hierarchy.NewPartition(h, spec, tr)
+		if !greedyFill(h, spec, p, leaves, rng) {
+			continue // packing failed under tight caps; not this test's concern
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: start invalid: %v", trial, err)
+		}
+		before := p.Cost()
+		cost, _, st, err := RefineCtx(context.Background(), p, Options{
+			Seed:      rng.Int63(),
+			Workers:   1 + rng.Intn(4),
+			MaxRounds: 3,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("trial %d: capacity bound violated after refinement: %v (stats %+v)", trial, verr, st)
+		}
+		if actual := p.Cost(); math.Abs(actual-cost) > 1e-9*math.Max(1, math.Abs(actual)) {
+			t.Fatalf("trial %d: tracked cost %g, recomputation %g", trial, cost, actual)
+		}
+		if cost > before+1e-9 {
+			t.Fatalf("trial %d: refinement raised cost %g → %g", trial, before, cost)
+		}
+		sawInfeasible += st.RejectedInfeasible
+	}
+	// The trap only counts as covered if the tight caps actually produced
+	// infeasible proposals for the applier to reject.
+	if sawInfeasible == 0 {
+		t.Fatal("no trial produced an infeasible corridor batch; tighten the caps")
+	}
+}
+
+// greedyFill assigns nodes to leaves first-fit in random order, respecting
+// every level's capacity. Reports false when packing fails.
+func greedyFill(h *hypergraph.Hypergraph, spec hierarchy.Spec, p *hierarchy.Partition, leaves []int, rng *rand.Rand) bool {
+	n := h.NumNodes()
+	order := rng.Perm(n)
+	used := make([]int64, p.Tree.NumVertices())
+	for _, v := range order {
+		s := h.NodeSize(hypergraph.NodeID(v))
+		placed := false
+		for _, leaf := range leaves {
+			ok := true
+			for q, l := leaf, 0; q >= 0 && l < spec.Height(); q, l = p.Tree.Parent(q), l+1 {
+				if used[q]+s > spec.Capacity[l] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for q, l := leaf, 0; q >= 0 && l < spec.Height(); q, l = p.Tree.Parent(q), l+1 {
+				used[q] += s
+			}
+			p.Assign(hypergraph.NodeID(v), leaf)
+			placed = true
+			break
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}

@@ -82,33 +82,7 @@ func RefineBoundaryCtx(ctx context.Context, p *hierarchy.Partition, opt Boundary
 	// mark guards worklist membership while a list is being built; entries
 	// are unmarked once the list is adopted so the next pass can rebuild.
 	mark := make([]bool, n)
-	var work []int
-	for e := 0; e < p.H.NumNets(); e++ {
-		pins := p.H.Pins(hypergraph.NetID(e))
-		if len(pins) > opt.MaxNetScan {
-			continue
-		}
-		first := p.LeafOf[pins[0]]
-		cross := false
-		for _, u := range pins[1:] {
-			if p.LeafOf[u] != first {
-				cross = true
-				break
-			}
-		}
-		if !cross {
-			continue
-		}
-		for _, u := range pins {
-			if !mark[u] {
-				mark[u] = true
-				work = append(work, int(u))
-			}
-		}
-	}
-	for _, v := range work {
-		mark[v] = false
-	}
+	_, work := CollectBoundary(p, opt.MaxNetScan)
 
 	// seen deduplicates candidate leaves per node with generation stamps —
 	// an O(1) reset, where clearing a map per visited node dominated the
@@ -177,4 +151,44 @@ func RefineBoundaryCtx(ctx context.Context, p *hierarchy.Partition, opt Boundary
 		}
 	}
 	return cs.Cost(), initial - cs.Cost()
+}
+
+// CollectBoundary scans the partition's nets once and returns the crossing
+// nets (pins touching more than one leaf) in ascending net order, plus the
+// distinct pins of those nets in first-touch order — the partition's
+// boundary. Nets with more than maxNetScan pins are skipped, matching
+// BoundaryOptions.MaxNetScan (pass 0 for the 256 default). It is the shared
+// seed scan of the boundary-localized FM worklist and of flowrefine's
+// pairwise corridor extraction; both orders are index-derived, so the result
+// is deterministic.
+func CollectBoundary(p *hierarchy.Partition, maxNetScan int) (crossing []hypergraph.NetID, nodes []int) {
+	if maxNetScan == 0 {
+		maxNetScan = 256
+	}
+	mark := make([]bool, p.H.NumNodes())
+	for e := 0; e < p.H.NumNets(); e++ {
+		pins := p.H.Pins(hypergraph.NetID(e))
+		if len(pins) > maxNetScan {
+			continue
+		}
+		first := p.LeafOf[pins[0]]
+		cross := false
+		for _, u := range pins[1:] {
+			if p.LeafOf[u] != first {
+				cross = true
+				break
+			}
+		}
+		if !cross {
+			continue
+		}
+		crossing = append(crossing, hypergraph.NetID(e))
+		for _, u := range pins {
+			if !mark[u] {
+				mark[u] = true
+				nodes = append(nodes, int(u))
+			}
+		}
+	}
+	return crossing, nodes
 }

@@ -1,0 +1,37 @@
+package htp
+
+import (
+	"context"
+
+	"repro/internal/flowrefine"
+	"repro/internal/hierarchy"
+)
+
+// FlowRefineOptions tunes the standalone flow-based pairwise refinement
+// entry point. It is internal/flowrefine's Options verbatim; see that
+// package for the corridor construction, acceptance rule, and determinism
+// contract.
+type FlowRefineOptions = flowrefine.Options
+
+// FlowRefineStats reports what a flow refinement run did.
+type FlowRefineStats = flowrefine.Stats
+
+// FlowRefine runs flow-based pairwise refinement over the partition in
+// place. It is FlowRefineCtx without cancellation.
+func FlowRefine(p *hierarchy.Partition, opt FlowRefineOptions) (cost, improvement float64, stats FlowRefineStats, err error) {
+	return FlowRefineCtx(context.Background(), p, opt)
+}
+
+// FlowRefineCtx refines p in place with flow-based pairwise refinement —
+// the post-construction counterpart of RefineHierarchicalCtx that escapes
+// FM's single-move horizon by moving whole corridor cuts at once. Same
+// anytime contract as the FM refiners: every intermediate state is a valid
+// partition, batches apply atomically, and cancellation returns the best
+// cost reached with a nil error. The run traces into opt.Observer under
+// opt.Span (one "flow-refine" terminal span, one refine-pass event per
+// round). A non-nil error means invalid input, a contained worker panic,
+// or an opt.Certify rejection — in all cases the partition is in its last
+// certified-valid state.
+func FlowRefineCtx(ctx context.Context, p *hierarchy.Partition, opt FlowRefineOptions) (cost, improvement float64, stats FlowRefineStats, err error) {
+	return flowrefine.RefineCtx(ctx, p, opt)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/anytime"
+	"repro/internal/flowrefine"
 	"repro/internal/fm"
 	"repro/internal/hierarchy"
 	"repro/internal/hypergraph"
@@ -46,6 +47,18 @@ type MultilevelOptions struct {
 	GFM  GFMOptions
 	// RefinePasses bounds boundary-refinement passes per level. Default 8.
 	RefinePasses int
+	// FlowRefine enables flow-based pairwise refinement on the finest level
+	// after the FM descent (see internal/flowrefine). Monotone: it only
+	// accepts batches that lower the exact hierarchical cost, so a run with
+	// FlowRefine never costs more than the same run without it.
+	FlowRefine bool
+	// FlowRefineOpt tunes the flow-refine stage when FlowRefine is set.
+	// Zero fields are defaulted; Seed defaults to the run Seed (+29),
+	// Workers to the run Workers, and Observer/Span to the run's sink and
+	// uncoarsen span. Callers that want each accepted move batch
+	// re-certified set Certify (internal/verify's Certifier does this for
+	// every wired CLI/server path).
+	FlowRefineOpt flowrefine.Options
 	// Workers parallelizes the coarsener's rating phase. Results are
 	// bit-identical at any value. It is deliberately NOT forwarded to
 	// Flow.Inject.Workers: the metric engine's sequential and batched
@@ -321,12 +334,20 @@ func MultilevelCtx(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy
 		ut0 = time.Now()
 		uncoarsenSpan = scope.Mint()
 	}
-	p, cost, salvagedLevels, err := stack.Uncoarsen(ctx, res.Partition, res.Cost, multilevel.UncoarsenOptions{
+	uopt := multilevel.UncoarsenOptions{
 		MaxPasses: opt.RefinePasses,
 		Seed:      opt.Seed + 11,
 		Observer:  sink,
 		Span:      obs.SpanScope{Ctx: scope.Ctx, Parent: uncoarsenSpan},
-	})
+	}
+	if opt.FlowRefine {
+		fr := opt.FlowRefineOpt
+		if fr.Workers == 0 {
+			fr.Workers = opt.Workers
+		}
+		uopt.FlowRefine = &fr
+	}
+	p, cost, salvagedLevels, err := stack.Uncoarsen(ctx, res.Partition, res.Cost, uopt)
 	if err != nil {
 		emitStop(sink, "error", 0, start, err)
 		return nil, err

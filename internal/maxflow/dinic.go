@@ -6,7 +6,11 @@
 // here serves as an ablation cut engine against the spreading-metric cuts.
 package maxflow
 
-import "math"
+import (
+	"context"
+	"fmt"
+	"math"
+)
 
 // Inf is an effectively unbounded arc capacity.
 var Inf = math.Inf(1)
@@ -47,14 +51,23 @@ func (nw *Network) AddArc(u, v int, capacity float64) {
 	nw.arcs[v] = append(nw.arcs[v], arc{to: int32(u), rev: int32(len(nw.arcs[u]) - 1), cap: 0})
 }
 
-func (nw *Network) bfs(s, t int) bool {
+// bfs builds the level graph for one Dinic phase. It polls ctx with the
+// repo's masked-poll granularity (every 1024 dequeues) and reports false on
+// cancellation — the phase loop above re-checks ctx to tell "no augmenting
+// path" from "gave up".
+func (nw *Network) bfs(ctx context.Context, s, t int) bool {
 	for i := range nw.level {
 		nw.level[i] = -1
 	}
 	queue := make([]int32, 0, len(nw.arcs))
 	nw.level[s] = 0
 	queue = append(queue, int32(s))
+	pops := 0
 	for len(queue) > 0 {
+		if pops&1023 == 1023 && ctx.Err() != nil {
+			return false
+		}
+		pops++
 		v := queue[0]
 		queue = queue[1:]
 		for _, a := range nw.arcs[v] {
@@ -87,28 +100,55 @@ func (nw *Network) dfs(v, t int, f float64) float64 {
 }
 
 // MaxFlow pushes the maximum flow from s to t and returns its value. The
-// network retains the residual state, which MinCutSide then reads.
+// network retains the residual state, which MinCutSide then reads. It is
+// MaxFlowCtx without cancellation.
 func (nw *Network) MaxFlow(s, t int) float64 {
+	flow, _ := nw.MaxFlowCtx(context.Background(), s, t)
+	return flow
+}
+
+// MaxFlowCtx is MaxFlow under a context: each BFS level phase and the
+// augmenting-path loop poll cancellation (masked, every ~1k queue pops /
+// every 64 paths), so a dead context stops the computation within one
+// bounded sweep instead of running all phases to completion. On
+// cancellation it returns the flow pushed so far and an error wrapping the
+// context cause; the residual state is then mid-phase, so MinCutSide must
+// not be read as a minimum cut.
+func (nw *Network) MaxFlowCtx(ctx context.Context, s, t int) (float64, error) {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
 	var flow float64
-	for nw.bfs(s, t) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return flow, fmt.Errorf("maxflow: cancelled after %g units: %w", flow, context.Cause(ctx))
+		}
+		if !nw.bfs(ctx, s, t) {
+			break
+		}
 		for i := range nw.iter {
 			nw.iter[i] = 0
 		}
+		paths := 0
 		for {
+			if paths&63 == 63 && ctx.Err() != nil {
+				return flow, fmt.Errorf("maxflow: cancelled after %g units: %w", flow, context.Cause(ctx))
+			}
+			paths++
 			f := nw.dfs(s, t, Inf)
 			if f == 0 {
 				break
 			}
 			flow += f
 			if math.IsInf(flow, 1) {
-				return flow
+				return flow, nil
 			}
 		}
 	}
-	return flow
+	if err := ctx.Err(); err != nil {
+		return flow, fmt.Errorf("maxflow: cancelled after %g units: %w", flow, context.Cause(ctx))
+	}
+	return flow, nil
 }
 
 // MinCutSide returns, after MaxFlow, the set of vertices reachable from s in
@@ -116,15 +156,16 @@ func (nw *Network) MaxFlow(s, t int) float64 {
 // membership vector.
 func (nw *Network) MinCutSide(s int) []bool {
 	side := make([]bool, len(nw.arcs))
-	stack := []int32{int32(s)}
+	queue := []int32{int32(s)}
 	side[s] = true
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	// Grow-in-place sweep: each vertex enqueues at most once, so the scan
+	// is bounded by |V| and needs no cancellation checkpoint.
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		for _, a := range nw.arcs[v] {
 			if a.cap > 0 && !side[a.to] {
 				side[a.to] = true
-				stack = append(stack, a.to)
+				queue = append(queue, a.to)
 			}
 		}
 	}

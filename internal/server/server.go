@@ -90,6 +90,14 @@ type Config struct {
 	// gains a leading multilevel V-cycle rung (multilevel -> FLOW -> GFM ->
 	// salvage); smaller jobs keep the flat ladder. Default 1<<15.
 	MultilevelNodes int
+	// FlowRefine upgrades the big-instance ladder's leading rung from the
+	// plain multilevel V-cycle to "mlf": the V-cycle plus the flow-based
+	// pairwise refinement stage on the finest level, every accepted move
+	// batch re-certified in-line by internal/verify. Off by default — the
+	// refinement stage trades extra wall clock inside the rung's budget
+	// share for a (usually small) cost improvement. Jobs below
+	// MultilevelNodes are unaffected.
+	FlowRefine bool
 	// DefaultBudget and MaxBudget bound a job's wall-clock deadline budget
 	// (defaults 30s and 5m).
 	DefaultBudget time.Duration

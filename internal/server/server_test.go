@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -397,6 +398,54 @@ func TestMultilevelLadderAboveThreshold(t *testing.T) {
 	}
 	if !vb.Verified {
 		t.Fatal("multilevel result not marked verified")
+	}
+	vs := waitTerminal(t, ts, small, 30*time.Second)
+	if vs.State != StateDone {
+		t.Fatalf("small job state %q (error %q), want done", vs.State, vs.Error)
+	}
+	if vs.Stage != "flow" {
+		t.Fatalf("small job stage = %q, want flow", vs.Stage)
+	}
+}
+
+// TestFlowRefineLadder pins the Config.FlowRefine upgrade: a big job is
+// served by the "mlf" rung (V-cycle plus flow refinement, still certified),
+// the solver actually receives the FlowRefine option, and small jobs keep
+// the flat ladder untouched.
+func TestFlowRefineLadder(t *testing.T) {
+	real := RealSolvers()
+	var sawFlowRefine atomic.Bool
+	_, ts := newTestServer(t, Config{
+		Workers:         1,
+		DefaultBudget:   20 * time.Second,
+		MultilevelNodes: 64,
+		FlowRefine:      true,
+		Solvers: &Solvers{
+			Multilevel: func(ctx context.Context, h *hypergraph.Hypergraph, spec hierarchy.Spec, opt htp.MultilevelOptions) (*htp.Result, error) {
+				if opt.FlowRefine {
+					sawFlowRefine.Store(true)
+				}
+				return real.Multilevel(ctx, h, spec, opt)
+			},
+			Flow:    real.Flow,
+			GFM:     real.GFM,
+			Salvage: real.Salvage,
+		},
+	})
+	big := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 96), Height: 3})
+	small := submitOK(t, ts, JobSpec{Netlist: ringNetlist(t, 32), Height: 3})
+	vb := waitTerminal(t, ts, big, 30*time.Second)
+	if vb.State != StateDone {
+		t.Fatalf("big job state %q (error %q), want done", vb.State, vb.Error)
+	}
+	if vb.Stage != "mlf" {
+		t.Fatalf("big job stage = %q, want mlf", vb.Stage)
+	}
+	if !vb.Verified {
+		t.Fatal("mlf result not marked verified")
+	}
+	if !sawFlowRefine.Load() {
+		t.Fatal("mlf rung ran without MultilevelOptions.FlowRefine set")
 	}
 	vs := waitTerminal(t, ts, small, 30*time.Second)
 	if vs.State != StateDone {

@@ -103,9 +103,23 @@ var bigLadder = []rung{
 	{name: "salvage", frac: 1.00},
 }
 
+// mlfLadder is bigLadder with the leading rung upgraded to the flow-refined
+// V-cycle, selected when Config.FlowRefine is set. The rung keeps the same
+// budget share: flow refinement is monotone (accept-only-improving), so on
+// deadline it degrades to plain multilevel quality rather than failing.
+var mlfLadder = []rung{
+	{name: "mlf", frac: 0.55},
+	{name: "flow", frac: 0.75},
+	{name: "gfm", frac: 0.90},
+	{name: "salvage", frac: 1.00},
+}
+
 // ladderFor picks the degradation ladder for a job by instance size.
 func (s *Server) ladderFor(j *Job) []rung {
 	if s.solvers.Multilevel != nil && j.h.NumNodes() >= s.cfg.MultilevelNodes {
+		if s.cfg.FlowRefine {
+			return mlfLadder
+		}
 		return bigLadder
 	}
 	return ladder
@@ -236,12 +250,17 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, rungName string, seed i
 		scope = obs.SpanScope{Ctx: j.spans, Parent: rungSpan}
 	}
 	switch rungName {
-	case "multilevel":
-		return s.solvers.Multilevel(ctx, j.h, j.pspec, htp.MultilevelOptions{
+	case "multilevel", "mlf":
+		mo := htp.MultilevelOptions{
 			Seed:     seed,
 			Observer: o,
 			Span:     scope,
-		})
+		}
+		if rungName == "mlf" {
+			mo.FlowRefine = true
+			mo.FlowRefineOpt.Certify = verify.Certifier()
+		}
+		return s.solvers.Multilevel(ctx, j.h, j.pspec, mo)
 	case "flow":
 		return s.solvers.Flow(ctx, j.h, j.pspec, htp.FlowOptions{
 			Iterations: j.Spec.Iters,

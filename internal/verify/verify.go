@@ -119,6 +119,18 @@ func Certify(p *hierarchy.Partition, reportedCost float64) *Report {
 	return r
 }
 
+// Certifier adapts Certify to the plain-error callback shape that
+// internal/flowrefine (and anything else below the oracle layer) accepts —
+// this package imports internal/htp for the solver oracles, so packages on
+// htp's import path take certification as an injected func rather than
+// importing verify directly. The returned func is nil-safe on its own and
+// returns the first issue of a failed report.
+func Certifier() func(p *hierarchy.Partition, cost float64) error {
+	return func(p *hierarchy.Partition, cost float64) error {
+		return Certify(p, cost).Err()
+	}
+}
+
 // SameCost reports whether two independently computed costs agree within
 // CostTol, relative to the larger magnitude. NaN never agrees with anything.
 func SameCost(a, b float64) bool {
